@@ -1,0 +1,182 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Building the full evaluation matrix (every faithful algorithm x train x
+test combination, Section 5.1) takes minutes, so it is built once and
+cached under ``benchmarks/_cache/``; every figure benchmark then reads
+the same store -- exactly the intermediate-result sharing the paper's
+suite performs.  Delete the cache directory to force a full rebuild.
+
+Set ``REPRO_BENCH_SCOPE=quick`` to run on a reduced matrix (3
+connection + 2 packet datasets) when iterating.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.algorithms import ALGORITHMS
+from repro.algorithms.synthesis import GreedySynthesizer, merged_train_test
+from repro.bench import BenchmarkRunner
+from repro.bench.results import ResultStore
+from repro.core import ExecutionEngine
+from repro.flows import Granularity
+
+CACHE_DIR = Path(__file__).parent / "_cache"
+ARTIFACT_DIR = Path(__file__).parent / "_artifacts"
+
+CONNECTION_ALGORITHMS = [
+    "A07", "A08", "A09", "A10", "A11", "A12", "A13", "A14", "A15",
+]
+PACKET_ALGORITHMS = ["A00", "A01", "A02", "A03", "A04", "A05", "A06"]
+
+
+def scope() -> str:
+    return os.environ.get("REPRO_BENCH_SCOPE", "full")
+
+
+def dataset_scope() -> tuple[list[str], list[str]]:
+    if scope() == "quick":
+        return ["F0", "F1", "F4"], ["P0", "P1"]
+    return [f"F{i}" for i in range(10)], ["P0", "P1", "P2"]
+
+
+def _store_path() -> Path:
+    return CACHE_DIR / f"results_{scope()}.json"
+
+
+def build_full_store() -> ResultStore:
+    """Build (or load) the complete Section 5 evaluation matrix."""
+    path = _store_path()
+    if path.exists():
+        return ResultStore.load_json(path)
+    CACHE_DIR.mkdir(exist_ok=True)
+    flow_datasets, packet_datasets = dataset_scope()
+    runner = BenchmarkRunner(seed=0)
+    runner.run_matrix(CONNECTION_ALGORITHMS, flow_datasets)
+    runner.run_matrix(PACKET_ALGORITHMS, packet_datasets)
+    runner.store.save_json(path)
+    return runner.store
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Persist a rendered figure/table next to the benchmarks."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    path = ARTIFACT_DIR / name
+    path.write_text(text)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Figure 6: improvement heuristics (merged training + AM synthesis)
+# ----------------------------------------------------------------------
+
+MERGED_ALGORITHMS = ["A08", "A09", "A13", "A14"]
+
+
+def build_improvements() -> dict:
+    """Build (or load) the Figure 6 data: merged-dataset training rows
+    and the synthesised AM01-AM03 rows."""
+    path = CACHE_DIR / f"improvements_{scope()}.json"
+    if path.exists():
+        return json.loads(path.read_text())
+    CACHE_DIR.mkdir(exist_ok=True)
+    flow_datasets, _ = dataset_scope()
+    engine = ExecutionEngine(track_memory=False)
+    from repro.algorithms import build_algorithm
+    from repro.datasets import load_dataset
+    from repro.ml import precision_score, recall_score
+
+    merged_rows: dict[str, dict] = {}
+    for algorithm_id in MERGED_ALGORITHMS:
+        spec = build_algorithm(algorithm_id)
+        X_train, y_train, X_test, y_test = merged_train_test(
+            spec, flow_datasets, fraction=0.1, seed=0, engine=engine
+        )
+        merged_model = spec.build_model()
+        merged_model.fit(X_train, y_train)
+        merged_pred = merged_model.predict(X_test)
+        # baseline: the typical single-dataset deployment -- train on
+        # each dataset alone and test on the same mixed held-out set;
+        # report the mean (this is what the paper's Fig. 5-vs-Fig. 6
+        # comparison measures)
+        single_precisions, single_recalls = [], []
+        for train_dataset in flow_datasets:
+            X_single, y_single = spec.featurize(
+                load_dataset(train_dataset), engine, train_dataset
+            )
+            single_model = spec.build_model()
+            single_model.fit(X_single, y_single)
+            single_pred = single_model.predict(X_test)
+            single_precisions.append(precision_score(y_test, single_pred))
+            single_recalls.append(recall_score(y_test, single_pred))
+        import numpy as np
+
+        merged_rows[algorithm_id] = {
+            "merged_precision": float(precision_score(y_test, merged_pred)),
+            "merged_recall": float(recall_score(y_test, merged_pred)),
+            "single_precision": float(np.mean(single_precisions)),
+            "single_recall": float(np.mean(single_recalls)),
+            "single_best_precision": float(np.max(single_precisions)),
+        }
+
+    synthesizer = GreedySynthesizer(
+        flow_datasets, fraction=0.1, seed=0, engine=engine
+    )
+    synthesizer.search(max_blocks=2)
+    am_specs = synthesizer.top_specs(3)
+    am_rows = {}
+    ranked = sorted(synthesizer.results, key=lambda r: r.f1, reverse=True)
+    for spec, result in zip(am_specs, ranked):
+        am_rows[spec.algorithm_id] = {
+            "blocks": list(result.blocks),
+            "model": result.model_type,
+            "precision": result.precision,
+            "recall": result.recall,
+            "f1": result.f1,
+        }
+    payload = {
+        "merged": merged_rows,
+        "am": am_rows,
+        "n_candidates": len(synthesizer.results),
+        "originals_best_precision": max(
+            merged_rows[a]["single_precision"] for a in MERGED_ALGORITHMS
+        ),
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return payload
+
+
+def register_am_algorithms() -> list[str]:
+    """Ensure AM01..AM03 exist in the catalog (cheap re-synthesis when
+    the cache already decided the winning shapes is avoided by rebuilding
+    from the cached improvement data)."""
+    data = build_improvements()
+    from repro.algorithms.synthesis import (
+        MODEL_CANDIDATES,
+        _feature_template,
+        _model_template,
+    )
+    from repro.algorithms.base import AlgorithmSpec
+
+    ids = []
+    for algorithm_id, row in data["am"].items():
+        params = next(
+            (p for t, p, _ in MODEL_CANDIDATES if t == row["model"]), {}
+        )
+        scaled = next(
+            (s for t, _, s in MODEL_CANDIDATES if t == row["model"]), False
+        )
+        ALGORITHMS[algorithm_id] = AlgorithmSpec(
+            algorithm_id=algorithm_id,
+            name=f"synth:{'+'.join(row['blocks'])}:{row['model']}",
+            paper="Lumen-synthesised (this work)",
+            granularity=Granularity.CONNECTION,
+            feature_template=_feature_template(row["blocks"]),
+            model_template=_model_template(
+                row["model"], params, scaled, len(row["blocks"]) > 1
+            ),
+        )
+        ids.append(algorithm_id)
+    return ids

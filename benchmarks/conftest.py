@@ -1,0 +1,22 @@
+"""Session fixtures shared by all figure/table benchmarks."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_common import build_full_store, build_improvements  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def full_store():
+    """The complete Section 5 evaluation matrix (built once, cached)."""
+    return build_full_store()
+
+
+@pytest.fixture(scope="session")
+def improvements():
+    """The Figure 6 improvement data (built once, cached)."""
+    return build_improvements()

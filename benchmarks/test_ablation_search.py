@@ -1,0 +1,62 @@
+"""Ablation: greedy synthesis vs budgeted random search (Section 6).
+
+The paper proposes replacing the greedy brute-force AM search with
+black-box optimisation; random search under the same evaluation budget
+is the canonical baseline.  At benchmark scale both find strong
+candidates -- the interesting output is the quality-vs-budget record.
+"""
+
+from bench_common import save_artifact
+
+from repro.algorithms.synthesis import (
+    GreedySynthesizer,
+    RandomSearchSynthesizer,
+)
+
+DATASETS = ["F0", "F4"]
+BUDGET = 12
+
+
+def run_comparison() -> dict:
+    greedy = GreedySynthesizer(DATASETS, fraction=0.12, seed=0)
+    greedy.search(max_blocks=2)
+    greedy_results = sorted(greedy.results, key=lambda r: r.f1, reverse=True)
+
+    random_search = RandomSearchSynthesizer(DATASETS, fraction=0.12, seed=0)
+    random_results = random_search.search(max_blocks=2, budget=BUDGET)
+    return {
+        "greedy_best": greedy_results[0],
+        "greedy_evaluations": len(greedy_results),
+        "random_best": random_results[0],
+        "random_evaluations": len(random_results),
+    }
+
+
+def test_search_ablation(benchmark):
+    data = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    text = (
+        f"greedy: best f1={data['greedy_best'].f1:.3f} "
+        f"({data['greedy_evaluations']} evaluations)\n"
+        f"  {data['greedy_best'].describe()}\n"
+        f"random (budget {BUDGET}): best f1={data['random_best'].f1:.3f} "
+        f"({data['random_evaluations']} evaluations)\n"
+        f"  {data['random_best'].describe()}\n"
+    )
+    save_artifact("ablation_search.txt", text)
+    assert data["greedy_best"].f1 > 0.85
+    assert data["random_best"].f1 > 0.7
+
+
+def test_random_search_respects_budget():
+    random_search = RandomSearchSynthesizer(DATASETS, fraction=0.12, seed=1)
+    results = random_search.search(max_blocks=2, budget=6)
+    assert len(results) <= 6
+
+
+def test_random_search_deterministic_in_seed():
+    a = RandomSearchSynthesizer(DATASETS, fraction=0.12, seed=2)
+    b = RandomSearchSynthesizer(DATASETS, fraction=0.12, seed=2)
+    ra = a.search(max_blocks=2, budget=5)
+    rb = b.search(max_blocks=2, budget=5)
+    assert [r.blocks for r in ra] == [r.blocks for r in rb]
+    assert [r.f1 for r in ra] == [r.f1 for r in rb]

@@ -1,0 +1,69 @@
+"""Figure 10: median precision/recall per (train, test) dataset pair.
+
+Observation 3: the diagonal is strongest, the matrix is asymmetric, and
+the stealthy Torii dataset (F5) is the canonical example -- no training
+dataset generalises *to* F5, but a model trained *on* F5 transfers out.
+"""
+
+import numpy as np
+
+from bench_common import save_artifact
+
+from repro.bench import train_test_median_matrix
+from repro.bench.analysis import asymmetry_pairs
+
+
+def test_fig10a_precision_matrix(full_store, benchmark):
+    matrix = benchmark(train_test_median_matrix, full_store,
+                       metric="precision")
+    save_artifact("fig10a_precision_matrix.txt", matrix.render())
+    save_artifact("fig10a_precision_matrix.csv", matrix.to_csv())
+    assert len(matrix.row_labels) == len(matrix.col_labels)
+
+
+def test_fig10b_recall_matrix(full_store):
+    matrix = train_test_median_matrix(full_store, metric="recall")
+    save_artifact("fig10b_recall_matrix.txt", matrix.render())
+
+
+def test_diagonal_dominates(full_store):
+    matrix = train_test_median_matrix(full_store, metric="precision")
+    values = matrix.values
+    n = len(matrix.row_labels)
+    diagonal = np.nanmean(np.diag(values))
+    off_mask = ~np.eye(n, dtype=bool)
+    off = np.nanmean(values[off_mask])
+    assert diagonal > off + 0.2
+
+
+def test_matrix_is_asymmetric(full_store):
+    pairs = asymmetry_pairs(full_store, metric="precision", gap=0.3)
+    save_artifact(
+        "fig10_asymmetries.txt",
+        "\n".join(
+            f"train {a} -> test {b}: {forward:.2f} | "
+            f"train {b} -> test {a}: {backward:.2f}"
+            for a, b, forward, backward in pairs
+        ),
+    )
+    assert len(pairs) >= 1  # e.g. the paper's F5/F6 example
+
+
+def test_torii_is_hard_to_reach_but_generalises_out(full_store):
+    matrix = train_test_median_matrix(full_store, metric="precision")
+    if "F5" not in matrix.row_labels:
+        return  # quick scope without F5
+    f5 = matrix.row_labels.index("F5")
+    n = len(matrix.row_labels)
+    f_indices = [
+        i for i, label in enumerate(matrix.row_labels)
+        if label.startswith("F") and i != f5
+    ]
+    into_f5 = [matrix.values[f5, j] for j in f_indices]
+    out_of_f5 = [matrix.values[i, f5] for i in f_indices]
+    into_f5 = [v for v in into_f5 if not np.isnan(v)]
+    out_of_f5 = [v for v in out_of_f5 if not np.isnan(v)]
+    # models trained elsewhere fail on F5's stealthy traffic; training
+    # on F5 transfers better than the reverse
+    assert np.median(into_f5) < 0.5
+    assert np.median(out_of_f5) > np.median(into_f5)

@@ -1,0 +1,38 @@
+"""Figure 1a: direct comparisons possible from the literature alone.
+
+The paper: "for half of the algorithms that we reviewed, there is no
+possible comparison" (two algorithms compare directly only if they share
+an evaluation dataset).
+"""
+
+from bench_common import save_artifact
+
+from repro.datasets import comparability_counts
+
+
+def render_fig1a() -> str:
+    counts = comparability_counts()
+    lines = ["algorithm            comparable-with"]
+    for key, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        bar = "#" * count
+        lines.append(f"{key:<20} {count:>2} {bar}")
+    return "\n".join(lines)
+
+
+def test_fig1a_regenerates(benchmark):
+    text = benchmark(render_fig1a)
+    save_artifact("fig1a_comparability.txt", text)
+    assert "kitsune" in text
+
+
+def test_fig1a_half_have_zero_comparisons():
+    counts = comparability_counts()
+    zero = sum(1 for v in counts.values() if v == 0)
+    assert zero >= len(counts) / 2  # the paper's headline observation
+
+
+def test_fig1a_symmetry():
+    # comparability is symmetric: it is built from shared datasets
+    counts = comparability_counts()
+    assert counts["ocsvm"] >= 1 and counts["zeek"] >= 1
+    assert counts["nprint"] >= 1 and counts["smartdet"] >= 1

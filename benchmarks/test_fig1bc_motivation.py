@@ -1,0 +1,35 @@
+"""Figures 1b/1c: the motivating precision-spread comparison.
+
+1b: even trained and tested on the same dataset, each algorithm's
+precision varies widely across datasets.  1c: the variance further
+degrades when training and testing datasets differ.
+"""
+
+import numpy as np
+
+from bench_common import save_artifact
+
+from repro.bench import distribution_by_algorithm
+
+
+def test_fig1b_same_dataset_spread(full_store, benchmark):
+    box = benchmark(distribution_by_algorithm, full_store,
+                    metric="precision", mode="same")
+    save_artifact("fig1b_same_dataset.txt", box.render())
+    summary = box.summary()
+    # wide spread: some algorithm spans more than half the [0,1] range
+    spans = [s["max"] - s["min"] for s in summary.values()]
+    assert max(spans) > 0.5
+
+
+def test_fig1c_cross_dataset_degrades(full_store):
+    same = distribution_by_algorithm(full_store, mode="same")
+    cross = distribution_by_algorithm(full_store, mode="cross")
+    save_artifact("fig1c_cross_dataset.txt", cross.render())
+    same_medians = [np.median(v) for v in same.groups.values()]
+    cross_medians = [np.median(v) for v in cross.groups.values()]
+    # cross-dataset evaluation is worse in aggregate
+    assert np.mean(cross_medians) < np.mean(same_medians)
+    # and the spread (the paper's point) gets wider or stays as wide
+    cross_spans = [max(v) - min(v) for v in cross.groups.values()]
+    assert max(cross_spans) > 0.8

@@ -1,0 +1,67 @@
+"""Figure 6 / Observation 5: Lumen-guided improvements.
+
+Two heuristics beat the state of the art on the merged benchmark:
+merged-dataset training (paper: +12-27% precision) and greedy
+module recombination (paper: +4% average precision over the originals).
+"""
+
+import json
+
+from bench_common import register_am_algorithms, save_artifact
+
+from repro.bench import BenchmarkRunner, per_attack_precision
+
+
+def render_fig6(improvements: dict) -> str:
+    lines = ["merged-dataset training (tested on the mixed held-out set):"]
+    for algorithm, row in improvements["merged"].items():
+        delta = row["merged_precision"] - row["single_precision"]
+        lines.append(
+            f"  {algorithm}: single {row['single_precision']:.3f} -> "
+            f"merged {row['merged_precision']:.3f} ({delta:+.3f})"
+        )
+    lines.append("")
+    lines.append(
+        f"AM synthesis ({improvements['n_candidates']} candidates searched):"
+    )
+    for algorithm, row in improvements["am"].items():
+        lines.append(
+            f"  {algorithm}: {'+'.join(row['blocks'])} -> {row['model']}: "
+            f"precision {row['precision']:.3f} recall {row['recall']:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig6_regenerates(improvements, benchmark):
+    text = benchmark(render_fig6, improvements)
+    save_artifact("fig6_improvements.txt", text)
+    save_artifact("fig6_improvements.json", json.dumps(improvements, indent=2))
+
+
+def test_merged_training_improves_most_algorithms(improvements):
+    gains = [
+        row["merged_precision"] - row["single_precision"]
+        for row in improvements["merged"].values()
+    ]
+    improved = sum(1 for g in gains if g > 0.005)
+    # the paper reports 12-27% gains on its rows; we require most rows
+    # to improve and none to get catastrophically worse
+    assert improved >= len(gains) / 2
+    assert min(gains) > -0.2
+
+
+def test_am_synthesis_beats_originals(improvements):
+    best_am = max(row["precision"] for row in improvements["am"].values())
+    assert best_am >= improvements["originals_best_precision"] - 0.02
+    assert best_am > 0.9
+
+
+def test_am_algorithms_run_in_the_benchmark_suite(improvements):
+    # AM01-AM03 are real catalog algorithms: evaluate one end to end
+    am_ids = register_am_algorithms()
+    assert am_ids
+    runner = BenchmarkRunner(seed=0)
+    result = runner.evaluate(am_ids[0], "F0", "F0")
+    assert result.precision > 0.8
+    heatmap = per_attack_precision(runner.store)
+    assert am_ids[0] in heatmap.row_labels

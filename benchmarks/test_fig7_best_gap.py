@@ -1,0 +1,42 @@
+"""Figure 7: distance from the best algorithm per train/test pair.
+
+Observation 1: "There isn't a single algorithm with the highest
+precision or highest recall score for all training/testing scenarios."
+"""
+
+from bench_common import save_artifact
+
+from repro.bench import best_gap_by_algorithm
+from repro.bench.analysis import no_single_best
+
+
+def test_fig7a_precision_gaps(full_store, benchmark):
+    gaps = benchmark(best_gap_by_algorithm, full_store, metric="precision")
+    save_artifact("fig7a_precision_gap.txt", gaps.render())
+    # gaps are distances from the per-pair best: non-negative, and for
+    # every algorithm there exists some pair where it is beaten
+    summary = gaps.summary()
+    assert all(s["min"] >= -1e-9 for s in summary.values())
+
+
+def test_fig7b_recall_gaps(full_store):
+    gaps = best_gap_by_algorithm(full_store, metric="recall")
+    save_artifact("fig7b_recall_gap.txt", gaps.render())
+    assert set(gaps.groups) == set(full_store.algorithms())
+
+
+def test_observation1_no_single_best(full_store):
+    assert no_single_best(full_store, metric="precision")
+    assert no_single_best(full_store, metric="recall")
+
+
+def test_packet_family_close_to_optimal(full_store):
+    # "algorithms A1-A4 are generally good for packet classification as
+    # their precision difference from optimal is close to zero"
+    import numpy as np
+
+    gaps = best_gap_by_algorithm(full_store, metric="precision")
+    nprint_medians = [
+        np.median(gaps.groups[a]) for a in ("A01", "A02", "A03", "A04")
+    ]
+    assert np.mean(nprint_medians) < 0.25

@@ -1,0 +1,53 @@
+"""Figure 8: per-algorithm scores when trained/tested on one dataset.
+
+Observation 2 (first half): "the precision of 8/16 algorithms and
+recall of 4/16 algorithms drops below 20% for at least one dataset"
+even in the same-dataset setting.
+"""
+
+from bench_common import save_artifact
+
+from repro.bench import distribution_by_algorithm
+from repro.bench.analysis import algorithms_below
+
+
+def test_fig8a_precision(full_store, benchmark):
+    box = benchmark(distribution_by_algorithm, full_store,
+                    metric="precision", mode="same")
+    save_artifact("fig8a_same_precision.txt", box.render())
+    assert len(box.groups) == 16
+
+
+def test_fig8b_recall(full_store):
+    box = distribution_by_algorithm(full_store, metric="recall", mode="same")
+    save_artifact("fig8b_same_recall.txt", box.render())
+    assert len(box.groups) == 16
+
+
+def test_observation2_same_dataset_failures(full_store):
+    precision_drops = algorithms_below(
+        full_store, metric="precision", threshold=0.2, mode="same"
+    )
+    recall_drops = algorithms_below(
+        full_store, metric="recall", threshold=0.2, mode="same"
+    )
+    # paper: 8/16 for precision, 4/16 for recall; the shape claim is
+    # several-but-not-all algorithms fail somewhere even in the easy
+    # setting, and the failures concentrate in the anomaly-detection
+    # family rather than the supervised one
+    assert 3 <= len(precision_drops) <= 13
+    assert 3 <= len(recall_drops) <= 13
+    anomaly_family = {"A06", "A07", "A08", "A09", "A11"}
+    assert set(precision_drops) & anomaly_family
+    assert not {"A10", "A14", "A15"} & set(precision_drops)
+
+
+def test_supervised_algorithms_strong_same_dataset(full_store):
+    # the supervised family should look good in this setting (their
+    # papers' reported numbers are high for a reason)
+    import numpy as np
+
+    box = distribution_by_algorithm(full_store, metric="precision",
+                                    mode="same")
+    for algorithm in ("A10", "A14", "A15"):
+        assert np.median(box.groups[algorithm]) > 0.9

@@ -1,0 +1,53 @@
+"""Figure 9: per-algorithm scores when trained and tested on different
+datasets.
+
+Observation 2 (second half): "the precision and recall of 16 of the 16
+algorithms drops below 20% for at least one data set" in the
+cross-dataset setting -- the collapse that motivates the whole paper.
+"""
+
+import numpy as np
+
+from bench_common import save_artifact
+
+from repro.bench import distribution_by_algorithm
+from repro.bench.analysis import algorithms_below
+
+
+def test_fig9a_precision(full_store, benchmark):
+    box = benchmark(distribution_by_algorithm, full_store,
+                    metric="precision", mode="cross")
+    save_artifact("fig9a_cross_precision.txt", box.render())
+    assert len(box.groups) >= 15  # A05-equivalent caveat: every
+    # algorithm with >= 2 faithful datasets appears
+
+
+def test_fig9b_recall(full_store):
+    box = distribution_by_algorithm(full_store, metric="recall", mode="cross")
+    save_artifact("fig9b_cross_recall.txt", box.render())
+
+
+def test_observation2_universal_cross_dataset_collapse(full_store):
+    cross = full_store.query(mode="cross")
+    evaluated = set(cross.algorithms())
+    dropped_precision = set(
+        algorithms_below(full_store, metric="precision", threshold=0.2,
+                         mode="cross")
+    )
+    # the paper: all 16 of 16; we require the overwhelming majority
+    assert len(dropped_precision) >= len(evaluated) - 2
+
+
+def test_cross_dataset_much_worse_than_same(full_store):
+    same = distribution_by_algorithm(full_store, mode="same")
+    cross = distribution_by_algorithm(full_store, mode="cross")
+    worse = 0
+    for algorithm in cross.groups:
+        if algorithm not in same.groups:
+            continue
+        if min(cross.groups[algorithm]) < np.median(same.groups[algorithm]) - 0.5:
+            worse += 1
+    # "for all algorithms, the precision and recall score drops by more
+    # than 80% when trained on one and tested on other datasets" --
+    # we require a >50% drop for most algorithms
+    assert worse >= len(cross.groups) * 0.6

@@ -1,0 +1,81 @@
+"""Scalability benchmarks (the paper's Section 4.2 concern).
+
+"The captured traffic dataset can be huge ... Even open-source
+frameworks such as nprint fail with large pcap files."  These
+benchmarks measure how the columnar substrate scales: featurization
+time versus trace size (expected ~linear for aggregate features), and
+the flow-assembly sort (expected n log n) staying far from the
+quadratic blow-ups that kill per-packet object designs.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from bench_common import save_artifact
+
+from repro.core import ExecutionEngine, Pipeline
+from repro.flows import assemble_connections
+from repro.traffic import AttackSpec, NetworkScenario
+
+FEATURE_TEMPLATE = [
+    {"func": "Groupby", "input": None, "output": "flows",
+     "flowid": ["connection"]},
+    {"func": "ApplyAggregates", "input": ["flows"], "output": "X",
+     "list": ["count", "duration", "bandwidth", "mean:length",
+              "std:length", "entropy:src_port", "flag_frac:SYN"]},
+]
+
+
+def make_trace(duration: float, seed: int = 77):
+    return NetworkScenario(
+        name=f"scale-{duration:.0f}",
+        device_counts={"workstation": 4, "camera": 2, "smart_hub": 2},
+        duration=duration,
+        seed=seed,
+        attacks=(AttackSpec("dos_syn_flood", 0.4, 0.6, intensity=0.1),),
+    ).generate()
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {duration: make_trace(duration) for duration in (60.0, 240.0, 960.0)}
+
+
+def test_featurization_scales_subquadratically(traces):
+    pipeline = Pipeline.from_template(FEATURE_TEMPLATE)
+    timings = {}
+    for duration, table in sorted(traces.items()):
+        engine = ExecutionEngine(use_cache=False, track_memory=False)
+        started = time.perf_counter()
+        engine.run(pipeline, table, outputs=["X"])
+        timings[len(table)] = time.perf_counter() - started
+    sizes = sorted(timings)
+    save_artifact(
+        "scaling_featurization.txt",
+        "\n".join(f"{n} packets: {timings[n]:.4f}s" for n in sizes) + "\n",
+    )
+    # 16x more packets must cost far less than 16^2 = 256x more time
+    growth = timings[sizes[-1]] / max(timings[sizes[0]], 1e-9)
+    size_ratio = sizes[-1] / sizes[0]
+    assert growth < size_ratio * 4
+
+
+def test_flow_assembly_throughput(traces, benchmark):
+    table = traces[960.0]
+    flows = benchmark(assemble_connections, table)
+    rate = len(table) / max(benchmark.stats.stats.mean, 1e-9)
+    save_artifact(
+        "scaling_assembly.txt",
+        f"{len(table)} packets -> {len(flows)} connections; "
+        f"{rate:,.0f} packets/s\n",
+    )
+    assert rate > 100_000  # columnar assembly, not per-packet objects
+
+
+def test_generation_throughput(benchmark):
+    table = benchmark.pedantic(make_trace, args=(240.0,), rounds=3,
+                               iterations=1)
+    rate = len(table) / max(benchmark.stats.stats.mean, 1e-9)
+    assert rate > 5_000  # packets generated per second

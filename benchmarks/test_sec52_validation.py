@@ -1,0 +1,43 @@
+"""Section 5.2: validating the correctness of the implementation.
+
+The paper validates against reported numbers and finds agreement for
+the supervised algorithms (A10 ~ 99%, A14 ~ 99.6% vs 99.9%) but
+*disagreement* for the OCSVM family (66% vs 78.6% AUC, 49.2% vs 75%),
+attributed to hyperparameters.  We reproduce the same pattern: the
+supervised checks come out close, the OCSVM checks come out low.
+"""
+
+import os
+
+import pytest
+
+from bench_common import save_artifact
+
+from repro.bench.validation import render_validation, validation_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    quick = os.environ.get("REPRO_BENCH_SCOPE") == "quick"
+    return validation_report(quick=quick)
+
+
+def test_validation_table_regenerates(report, benchmark):
+    text = benchmark(render_validation, report)
+    save_artifact("sec52_validation.txt", text)
+    assert "A10" in text and "AUC" in text
+
+
+def test_supervised_validations_close(report):
+    a10 = next(r for r in report if r.algorithm.startswith("A10"))
+    a14 = next(r for r in report if r.algorithm.startswith("A14"))
+    assert a10.measured > 0.85  # paper: 99% reported, 99% measured
+    assert a14.measured > 0.85  # paper: 99.9% reported, 99.6% measured
+
+
+def test_ocsvm_validations_disagree_downward(report):
+    ocsvm_rows = [r for r in report if r.algorithm.startswith("A07")]
+    assert len(ocsvm_rows) == 2
+    # the paper's honest finding: Lumen measures the OCSVM family well
+    # below its reported numbers
+    assert any(r.measured < r.reported for r in ocsvm_rows)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The paper's Section 2.2 operator scenario, solved with Lumen.
+
+"Consider an operator who wants to implement an anomaly detection
+algorithm in their small business to detect brute force and DoS attacks
+on IoT devices."  Instead of an inconclusive literature search, the
+operator asks the benchmarking suite directly: which algorithms detect
+*those attacks* best, on the datasets that contain them?
+
+Run with:  python examples/operator_playbook.py
+(takes a couple of minutes: it evaluates several algorithms)
+"""
+
+from repro.bench import BenchmarkRunner, per_attack_precision
+from repro.datasets import attack_inventory
+
+ATTACKS_OF_INTEREST = (
+    "brute_force_ftp", "brute_force_ssh", "brute_force_telnet",
+    "dos_syn_flood", "dos_http_flood", "dos_slowloris",
+)
+
+# a representative mix of cheap and expensive connection-level algorithms
+CANDIDATE_ALGORITHMS = ["A10", "A13", "A14", "A15", "A07"]
+
+
+def main() -> None:
+    # Which datasets contain the operator's attacks?
+    inventory = attack_inventory()
+    relevant = sorted(
+        {d for attack in ATTACKS_OF_INTEREST
+         for d in inventory.get(attack, []) if d.startswith("F")}
+    )
+    print(f"attacks of interest : {', '.join(ATTACKS_OF_INTEREST)}")
+    print(f"datasets containing them: {', '.join(relevant)}")
+    print()
+
+    # Evaluate every candidate on those datasets (same-dataset mode).
+    runner = BenchmarkRunner(seed=0)
+    runner.run_same_dataset(CANDIDATE_ALGORITHMS, relevant)
+
+    # The Figure-5 style view, restricted to the operator's attacks.
+    heatmap = per_attack_precision(runner.store)
+    keep = [a for a in heatmap.col_labels if a in ATTACKS_OF_INTEREST]
+    from repro.bench import Heatmap
+    import numpy as np
+
+    columns = [heatmap.col_labels.index(a) for a in keep]
+    focused = Heatmap(heatmap.row_labels, keep,
+                      heatmap.values[:, columns])
+    print("per-attack precision (algorithm x attack):")
+    print(focused.render())
+    print()
+
+    # The recommendation: best mean precision over the attacks of interest.
+    means = focused.row_means()
+    ranked = sorted(means.items(), key=lambda kv: -np.nan_to_num(kv[1]))
+    print("recommendation (mean precision over your attacks):")
+    for algorithm, mean in ranked:
+        print(f"  {algorithm}: {mean:.3f}")
+    best = ranked[0][0]
+    print()
+    print(f"=> deploy {best} for this threat model.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro: a from-scratch reproduction of Lumen (CoNEXT '22).
+
+Lumen is a modular framework plus benchmarking suite for developing and
+evaluating ML-based IoT network anomaly detection.  This package contains
+the framework (:mod:`repro.core`), the substrates it runs on
+(:mod:`repro.net`, :mod:`repro.flows`, :mod:`repro.ml`,
+:mod:`repro.traffic`), the sixteen reproduced algorithms
+(:mod:`repro.algorithms`), the dataset registry (:mod:`repro.datasets`)
+and the benchmarking suite (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro.datasets import load_dataset
+    from repro.algorithms import build_algorithm
+    from repro.bench import evaluate_same_dataset
+
+    table = load_dataset("F4")          # CTU 1-1 profile
+    algorithm = build_algorithm("A10")  # SmartDetect
+    result = evaluate_same_dataset(algorithm, table)
+    print(result.precision, result.recall)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,86 @@
+"""The algorithm abstraction shared by the catalog and the bench suite.
+
+An :class:`AlgorithmSpec` bundles what the paper's Table 2 records per
+algorithm -- id, provenance, classification granularity -- with the two
+Lumen template fragments that make it executable:
+
+* ``feature_template`` -- ends by defining ``X`` (features) and ``y``
+  (aligned ground-truth labels) for the algorithm's classification
+  units;
+* ``model_template`` -- defines ``clf``, the unfitted model (possibly
+  wrapped with train-fitted preprocessing).
+
+The bench suite featurizes train and test datasets with the same
+feature template (results are shared through the engine cache) and
+fits a fresh clone of the model per evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import ExecutionEngine, Pipeline
+from repro.flows import Granularity
+from repro.net.table import PacketTable
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One algorithm of the benchmarking suite."""
+
+    algorithm_id: str
+    name: str
+    paper: str
+    granularity: Granularity
+    feature_template: tuple[dict, ...]
+    model_template: tuple[dict, ...]
+    notes: str = ""
+
+    def feature_pipeline(self) -> Pipeline:
+        return Pipeline.from_template(list(self.feature_template))
+
+    def model_pipeline(self) -> Pipeline:
+        return Pipeline.from_template(list(self.model_template))
+
+    def featurize(
+        self,
+        table: PacketTable,
+        engine: ExecutionEngine | None = None,
+        source_token: str | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run the feature pipeline; return (X, y) for this algorithm's
+        classification units."""
+        engine = engine or ExecutionEngine(track_memory=False)
+        out = engine.run(
+            self.feature_pipeline(),
+            table,
+            outputs=["X", "y"],
+            source_token=source_token,
+        )
+        X, y = out["X"], np.asarray(out["y"])
+        if len(X) != len(y):
+            raise RuntimeError(
+                f"{self.algorithm_id}: features and labels misaligned "
+                f"({len(X)} vs {len(y)})"
+            )
+        return X, y
+
+    def build_model(self):
+        """Instantiate this algorithm's (unfitted) model."""
+        engine = ExecutionEngine(use_cache=False, track_memory=False)
+        out = engine.run(
+            self.model_pipeline(), PacketTable.empty(), outputs=["clf"]
+        )
+        return out["clf"]
+
+    def full_template(self) -> list[dict]:
+        """The complete train-on-this-dataset template (for docs/demos)."""
+        return [
+            *self.feature_template,
+            *self.model_template,
+            {"func": "train", "input": ["clf", "X", "y"], "output": "fitted"},
+            {"func": "predict", "input": ["fitted", "X"], "output": "preds"},
+            {"func": "evaluate", "input": ["preds", "y"], "output": "metrics"},
+        ]

@@ -1,0 +1,139 @@
+"""Figure computations over a :class:`~repro.bench.results.ResultStore`.
+
+Each function reproduces one analysis of Section 5:
+
+* :func:`distribution_by_algorithm` -- Figures 1b/1c and 8/9 (per-
+  algorithm precision/recall distributions, same- or cross-dataset).
+* :func:`best_gap_by_algorithm` -- Figure 7 (difference from the best
+  algorithm per train/test pair).
+* :func:`train_test_median_matrix` -- Figure 10 (median score per
+  train x test dataset combination).
+* :func:`per_attack_precision` -- Figure 5 (algorithm x attack heatmap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.heatmap import BoxData, Heatmap
+from repro.bench.results import ResultStore
+
+
+def distribution_by_algorithm(
+    store: ResultStore, *, metric: str = "precision", mode: str | None = None
+) -> BoxData:
+    """Per-algorithm score distributions (Figs 1b/1c, 8, 9)."""
+    data = BoxData()
+    for result in store.results:
+        if mode is not None and result.mode != mode:
+            continue
+        data.add(result.algorithm, getattr(result, metric))
+    return data
+
+
+def algorithms_below(
+    store: ResultStore,
+    *,
+    metric: str = "precision",
+    threshold: float = 0.2,
+    mode: str | None = None,
+) -> list[str]:
+    """Algorithms whose score drops below ``threshold`` for at least one
+    dataset combination (Observation 2's "8/16 drop below 20%")."""
+    dropped = set()
+    for result in store.results:
+        if mode is not None and result.mode != mode:
+            continue
+        if getattr(result, metric) < threshold:
+            dropped.add(result.algorithm)
+    return sorted(dropped)
+
+
+def best_gap_by_algorithm(
+    store: ResultStore, *, metric: str = "precision"
+) -> BoxData:
+    """Figure 7: per algorithm, the distribution of (best - own) score
+    over every train/test pair it ran on.  An always-optimal algorithm
+    would sit at zero."""
+    best = store.best_per_pair(metric)
+    data = BoxData()
+    for result in store.results:
+        gap = best[result.pair] - getattr(result, metric)
+        data.add(result.algorithm, gap)
+    return data
+
+
+def no_single_best(store: ResultStore, *, metric: str = "precision") -> bool:
+    """Observation 1: no algorithm attains the best score on every pair
+    it ran on (among pairs evaluated by >= 2 algorithms)."""
+    gaps = best_gap_by_algorithm(store, metric=metric)
+    contested: dict[tuple[str, str], int] = {}
+    for result in store.results:
+        contested[result.pair] = contested.get(result.pair, 0) + 1
+    for algorithm, values in gaps.groups.items():
+        pairs = [r.pair for r in store.results if r.algorithm == algorithm]
+        relevant = [
+            v for v, p in zip(values, pairs) if contested.get(p, 0) >= 2
+        ]
+        if relevant and max(relevant) <= 1e-9:
+            return False  # this algorithm is never beaten
+    return True
+
+
+def train_test_median_matrix(
+    store: ResultStore, *, metric: str = "precision"
+) -> Heatmap:
+    """Figure 10: median score across algorithms per (train, test) cell.
+    Rows are test datasets (Y-axis), columns train datasets (X-axis)."""
+    cells: dict[tuple[str, str], list[float]] = {}
+    for result in store.results:
+        cells.setdefault(
+            (result.test_dataset, result.train_dataset), []
+        ).append(getattr(result, metric))
+    medians = {
+        key: float(np.median(values)) for key, values in cells.items()
+    }
+    datasets = store.datasets()
+    return Heatmap.from_cells(medians, datasets, datasets)
+
+
+def per_attack_precision(
+    store: ResultStore, *, metric: str = "precision", mode: str = "same"
+) -> Heatmap:
+    """Figure 5: precision of each algorithm on each attack.
+
+    For algorithm Y and attack X, average Y's per-attack score over the
+    datasets that contain X and on which Y ran faithfully; attacks Y
+    never saw stay NaN (the paper's gray squares)."""
+    cells: dict[tuple[str, str], list[float]] = {}
+    for result in store.results:
+        if result.mode != mode:
+            continue
+        for attack, metrics in result.per_attack.items():
+            cells.setdefault((result.algorithm, attack), []).append(
+                metrics[metric]
+            )
+    averaged = {key: float(np.mean(vals)) for key, vals in cells.items()}
+    algorithms = store.algorithms()
+    attacks = sorted({attack for _, attack in averaged})
+    return Heatmap.from_cells(averaged, algorithms, attacks)
+
+
+def asymmetry_pairs(
+    store: ResultStore, *, metric: str = "precision", gap: float = 0.3
+) -> list[tuple[str, str, float, float]]:
+    """Observation 3's asymmetry: (A, B) dataset pairs where training on
+    A generalises to B much better than the reverse."""
+    matrix = train_test_median_matrix(store, metric=metric)
+    out = []
+    for i, test in enumerate(matrix.row_labels):
+        for j, train in enumerate(matrix.col_labels):
+            if i >= j:
+                continue
+            forward = matrix.values[i, j]   # train on `train`, test on `test`
+            backward = matrix.values[j, i]
+            if np.isnan(forward) or np.isnan(backward):
+                continue
+            if abs(forward - backward) >= gap:
+                out.append((train, test, float(forward), float(backward)))
+    return sorted(out, key=lambda item: -abs(item[2] - item[3]))

@@ -1,0 +1,116 @@
+"""Comparing two result stores (regression tracking between runs).
+
+A framework run end-to-end on synthetic data is fully deterministic, so
+any metric movement between two runs means the *code* changed.  This
+module diffs two stores cell by cell and classifies the movements --
+the check a maintainer runs before merging a change to an operation or
+a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.results import ResultStore
+
+
+@dataclass(frozen=True)
+class CellDiff:
+    """One evaluation cell whose metric moved between runs."""
+
+    algorithm: str
+    train_dataset: str
+    test_dataset: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+
+@dataclass
+class StoreDiff:
+    """The full comparison: moved cells plus membership changes."""
+
+    changed: list[CellDiff]
+    only_before: list[tuple[str, str, str]]
+    only_after: list[tuple[str, str, str]]
+
+    @property
+    def regressions(self) -> list[CellDiff]:
+        return [d for d in self.changed if d.delta < 0]
+
+    @property
+    def improvements(self) -> list[CellDiff]:
+        return [d for d in self.changed if d.delta > 0]
+
+    @property
+    def is_clean(self) -> bool:
+        return not (self.changed or self.only_before or self.only_after)
+
+
+def diff_stores(
+    before: ResultStore,
+    after: ResultStore,
+    *,
+    metrics: tuple[str, ...] = ("precision", "recall"),
+    tolerance: float = 1e-9,
+) -> StoreDiff:
+    """Cell-by-cell comparison of two evaluation matrices."""
+
+    def key(result) -> tuple[str, str, str]:
+        return (result.algorithm, result.train_dataset, result.test_dataset)
+
+    before_map = {key(r): r for r in before.results}
+    after_map = {key(r): r for r in after.results}
+    changed: list[CellDiff] = []
+    for cell, old in before_map.items():
+        new = after_map.get(cell)
+        if new is None:
+            continue
+        for metric in metrics:
+            old_value = getattr(old, metric)
+            new_value = getattr(new, metric)
+            if abs(new_value - old_value) > tolerance:
+                changed.append(
+                    CellDiff(
+                        algorithm=cell[0],
+                        train_dataset=cell[1],
+                        test_dataset=cell[2],
+                        metric=metric,
+                        before=old_value,
+                        after=new_value,
+                    )
+                )
+    return StoreDiff(
+        changed=sorted(changed, key=lambda d: d.delta),
+        only_before=sorted(set(before_map) - set(after_map)),
+        only_after=sorted(set(after_map) - set(before_map)),
+    )
+
+
+def render_diff(diff: StoreDiff, *, top: int = 10) -> str:
+    """A short human summary of the comparison."""
+    if diff.is_clean:
+        return "identical: no cells changed"
+    lines = [
+        f"{len(diff.changed)} cells moved "
+        f"({len(diff.regressions)} down, {len(diff.improvements)} up); "
+        f"{len(diff.only_before)} cells removed, "
+        f"{len(diff.only_after)} added"
+    ]
+    for cell in diff.regressions[:top]:
+        lines.append(
+            f"  v {cell.algorithm} {cell.train_dataset}->"
+            f"{cell.test_dataset} {cell.metric}: "
+            f"{cell.before:.3f} -> {cell.after:.3f}"
+        )
+    for cell in list(reversed(diff.improvements))[:top]:
+        lines.append(
+            f"  ^ {cell.algorithm} {cell.train_dataset}->"
+            f"{cell.test_dataset} {cell.metric}: "
+            f"{cell.before:.3f} -> {cell.after:.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Per-attack feature relevance (the paper's Section 6 suggestion).
+
+"Lumen can also be used to understand the relevant features for each
+attack type or deployment."  For a given algorithm and dataset, this
+fits one random forest per attack (that attack's units vs benign) and
+reports which feature columns carry the signal -- the analysis behind
+statements like "DoS attacks are best identified by [flag-rate and
+port-entropy features]".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import AlgorithmSpec, build_algorithm
+from repro.bench.heatmap import Heatmap
+from repro.bench.runner import _featurize_with_attacks
+from repro.core import ExecutionEngine
+from repro.ml import RandomForestClassifier
+
+#: human-readable names for each algorithm's feature columns (only for
+#: algorithms whose templates declare compact named aggregates)
+FEATURE_NAMES: dict[str, list[str]] = {
+    "A10": [
+        "count", "pps", "mean_length", "std_length", "entropy_src_port",
+        "entropy_dst_port", "syn_rate", "ack_rate", "rst_rate",
+        "nunique_dst_ip",
+    ],
+    "A15": [
+        "count", "duration", "bandwidth", "pps", "mean_length",
+        "std_length", "payload_bytes", "iat_mean", "iat_std",
+        "mean_window", "bytes_ratio",
+    ],
+}
+
+
+def feature_relevance(
+    algorithm: str | AlgorithmSpec,
+    dataset_id: str,
+    *,
+    n_estimators: int = 20,
+    seed: int = 0,
+    engine: ExecutionEngine | None = None,
+) -> Heatmap:
+    """attack x feature importance heatmap for one algorithm/dataset.
+
+    Importances are split-count based, normalised per attack (rows sum
+    to 1), so the dominant features per attack stand out.
+    """
+    spec = (
+        algorithm
+        if isinstance(algorithm, AlgorithmSpec)
+        else build_algorithm(algorithm)
+    )
+    engine = engine or ExecutionEngine(track_memory=False)
+    X, y, attack_ids, attack_names = _featurize_with_attacks(
+        spec, dataset_id, engine
+    )
+    names = FEATURE_NAMES.get(
+        spec.algorithm_id, [f"f{i}" for i in range(X.shape[1])]
+    )
+    if len(names) != X.shape[1]:
+        names = [f"f{i}" for i in range(X.shape[1])]
+    cells: dict[tuple[str, str], float] = {}
+    rows: list[str] = []
+    for attack_id, attack in enumerate(attack_names):
+        mask = (attack_ids == attack_id) | (y == 0)
+        labels = (attack_ids[mask] == attack_id).astype(int)
+        if labels.sum() < 5:
+            continue
+        forest = RandomForestClassifier(
+            n_estimators=n_estimators, max_depth=8, seed=seed
+        )
+        forest.fit(X[mask], labels)
+        importances = forest.feature_importances()
+        total = importances.sum()
+        if total > 0:
+            importances = importances / total
+        rows.append(attack)
+        for name, value in zip(names, importances):
+            cells[(attack, name)] = float(value)
+    return Heatmap.from_cells(cells, rows, names)
+
+
+def top_features(relevance: Heatmap, attack: str, k: int = 3) -> list[str]:
+    """The k most relevant feature names for one attack row."""
+    row = relevance.values[relevance.row_labels.index(attack)]
+    order = np.argsort(-np.nan_to_num(row))
+    return [relevance.col_labels[i] for i in order[:k]]

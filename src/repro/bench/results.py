@@ -1,0 +1,125 @@
+"""Result records and the query-friendly store.
+
+The paper: "Lumen stores all results in a query-friendly format" so that
+operators can drill into them beyond the built-in plots.  Here that is a
+list of flat :class:`EvaluationResult` records with filtering helpers
+and JSON/CSV persistence.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """One (algorithm, train dataset, test dataset) evaluation."""
+
+    algorithm: str
+    train_dataset: str
+    test_dataset: str
+    mode: str  # "same" or "cross"
+    granularity: str
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float
+    n_train: int
+    n_test: int
+    seconds: float = 0.0
+    per_attack: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.train_dataset, self.test_dataset)
+
+
+class ResultStore:
+    """An append-only collection of evaluation results with queries."""
+
+    def __init__(self, results: list[EvaluationResult] | None = None) -> None:
+        self.results: list[EvaluationResult] = list(results or [])
+
+    def add(self, result: EvaluationResult) -> None:
+        self.results.append(result)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        *,
+        algorithm: str | None = None,
+        train_dataset: str | None = None,
+        test_dataset: str | None = None,
+        mode: str | None = None,
+        granularity: str | None = None,
+    ) -> "ResultStore":
+        """Filter on any combination of record fields."""
+
+        def keep(result: EvaluationResult) -> bool:
+            return (
+                (algorithm is None or result.algorithm == algorithm)
+                and (train_dataset is None or result.train_dataset == train_dataset)
+                and (test_dataset is None or result.test_dataset == test_dataset)
+                and (mode is None or result.mode == mode)
+                and (granularity is None or result.granularity == granularity)
+            )
+
+        return ResultStore([r for r in self.results if keep(r)])
+
+    def algorithms(self) -> list[str]:
+        return sorted({r.algorithm for r in self.results})
+
+    def datasets(self) -> list[str]:
+        names = {r.train_dataset for r in self.results}
+        names |= {r.test_dataset for r in self.results}
+        return sorted(names)
+
+    def values(self, metric: str) -> list[float]:
+        return [getattr(r, metric) for r in self.results]
+
+    def best_per_pair(self, metric: str = "precision") -> dict[tuple[str, str], float]:
+        """For each (train, test) pair, the best score any algorithm got."""
+        best: dict[tuple[str, str], float] = {}
+        for result in self.results:
+            value = getattr(result, metric)
+            if value > best.get(result.pair, -1.0):
+                best[result.pair] = value
+        return best
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save_json(self, path: str | Path) -> None:
+        payload = [asdict(result) for result in self.results]
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "ResultStore":
+        payload = json.loads(Path(path).read_text())
+        return cls([EvaluationResult(**record) for record in payload])
+
+    def save_csv(self, path: str | Path) -> None:
+        columns = [
+            "algorithm", "train_dataset", "test_dataset", "mode",
+            "granularity", "precision", "recall", "f1", "accuracy",
+            "n_train", "n_test", "seconds",
+        ]
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(columns)
+            for result in self.results:
+                record = asdict(result)
+                writer.writerow([record[name] for name in columns])

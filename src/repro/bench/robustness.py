@@ -1,0 +1,99 @@
+"""Seed-robustness analysis: how stable is one evaluation cell?
+
+Single-split precision numbers (the paper's and ours) carry split/seed
+variance that the headline figures hide.  This module repeats an
+evaluation across k seeds -- reshuffling the stratified split and the
+model's own randomness together -- and reports mean, standard deviation
+and a normal-approximation confidence interval, so claims like "A beats
+B on dataset D" can be checked against the noise floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.runner import BenchmarkRunner
+
+
+@dataclass(frozen=True)
+class SeedRobustness:
+    """Distribution of one metric across seeds for one evaluation cell."""
+
+    algorithm: str
+    train_dataset: str
+    test_dataset: str
+    metric: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values, ddof=1)) if len(self.values) > 1 else 0.0
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI of the mean."""
+        half = z * self.std / np.sqrt(max(len(self.values), 1))
+        return (self.mean - half, self.mean + half)
+
+    def describe(self) -> str:
+        low, high = self.confidence_interval()
+        return (
+            f"{self.algorithm} {self.train_dataset}->{self.test_dataset} "
+            f"{self.metric}: {self.mean:.3f} +/- {self.std:.3f} "
+            f"(95% CI [{max(low, 0):.3f}, {min(high, 1):.3f}], "
+            f"n={len(self.values)})"
+        )
+
+
+def evaluate_across_seeds(
+    algorithm_id: str,
+    train_id: str,
+    test_id: str | None = None,
+    *,
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
+    metric: str = "precision",
+) -> SeedRobustness:
+    """Repeat one evaluation across seeds; returns the distribution.
+
+    For same-dataset cells the seed moves the stratified split *and*
+    the model; for cross-dataset cells only the model's randomness
+    moves (the datasets themselves are fixed), so cross cells are
+    typically tighter.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    test_id = test_id or train_id
+    values = []
+    for seed in seeds:
+        runner = BenchmarkRunner(seed=seed)
+        result = runner.evaluate(algorithm_id, train_id, test_id)
+        values.append(float(getattr(result, metric)))
+    return SeedRobustness(
+        algorithm=algorithm_id,
+        train_dataset=train_id,
+        test_dataset=test_id,
+        metric=metric,
+        values=tuple(values),
+    )
+
+
+def significantly_better(
+    a: SeedRobustness, b: SeedRobustness, z: float = 1.96
+) -> bool:
+    """Whether cell ``a``'s mean beats ``b``'s beyond the joint noise.
+
+    Uses a two-sample normal approximation; with the small seed counts
+    used here this is a sanity screen, not a hypothesis test.
+    """
+    if a.metric != b.metric:
+        raise ValueError("cannot compare different metrics")
+    n_a, n_b = len(a.values), len(b.values)
+    pooled = np.sqrt(a.std**2 / max(n_a, 1) + b.std**2 / max(n_b, 1))
+    if pooled == 0.0:
+        return a.mean > b.mean
+    return (a.mean - b.mean) / pooled > z

@@ -1,0 +1,270 @@
+"""The evaluation runner: same- and cross-dataset, faithfully.
+
+Implements the paper's methodology (Section 5.1): two training methods
+(same dataset with a stratified split; cross dataset with disjoint train
+and test traces), faithful granularity matching (packet algorithms on
+packet datasets, flow-like algorithms on flow-like datasets), and
+precision/recall per evaluation.  Per-attack precision breakdowns are
+recorded alongside for the Figure 5 analysis.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms import ALGORITHMS, AlgorithmSpec, build_algorithm
+from repro.bench.results import EvaluationResult, ResultStore
+from repro.core import ExecutionEngine, Pipeline
+from repro.datasets import DATASETS, load_dataset
+from repro.flows import Granularity, can_evaluate
+from repro.ml import classification_summary
+from repro.ml.model_selection import stratified_split_indices
+from repro.ml.metrics import precision_score, recall_score
+
+
+def faithful_pairs(
+    algorithm_ids: list[str] | None = None,
+    dataset_ids: list[str] | None = None,
+    *,
+    strict: bool = True,
+) -> list[tuple[str, str]]:
+    """All (algorithm, dataset) combinations the rule allows."""
+    algorithms = algorithm_ids or sorted(ALGORITHMS)
+    datasets = dataset_ids or sorted(DATASETS)
+    pairs = []
+    for algorithm_id in algorithms:
+        spec = ALGORITHMS[algorithm_id]
+        for dataset_id in datasets:
+            dataset = DATASETS[dataset_id]
+            if can_evaluate(spec.granularity, dataset.granularity, strict=strict):
+                pairs.append((algorithm_id, dataset_id))
+    return pairs
+
+
+def _units_template(spec: AlgorithmSpec) -> list[dict]:
+    """The feature template extended with per-unit attack ids."""
+    labels_step = next(
+        step for step in spec.feature_template if step["func"] == "Labels"
+    )
+    units_name = labels_step["input"]
+    units_name = units_name[0] if isinstance(units_name, list) else units_name
+    return list(spec.feature_template) + [
+        {"func": "AttackIds", "input": [units_name], "output": "attack_ids"}
+    ]
+
+
+def _featurize_with_attacks(
+    spec: AlgorithmSpec,
+    dataset_id: str,
+    engine: ExecutionEngine,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[str]]:
+    table = load_dataset(dataset_id)
+    pipeline = Pipeline.from_template(_units_template(spec))
+    out = engine.run(
+        pipeline, table, outputs=["X", "y", "attack_ids"],
+        source_token=dataset_id,
+    )
+    return out["X"], np.asarray(out["y"]), np.asarray(out["attack_ids"]), table.attacks
+
+
+def _per_attack_metrics(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    attack_ids: np.ndarray,
+    attack_names: list[str],
+) -> dict[str, dict[str, float]]:
+    """Per-attack precision/recall: for attack X, restrict the test set
+    to benign units plus units of attack X (the paper's Figure 5
+    construction)."""
+    out: dict[str, dict[str, float]] = {}
+    for attack_id, name in enumerate(attack_names):
+        mask = (attack_ids == attack_id) | (y_true == 0)
+        subset_true = (attack_ids[mask] == attack_id).astype(int)
+        subset_pred = y_pred[mask]
+        if subset_true.sum() == 0:
+            continue
+        out[name] = {
+            "precision": float(precision_score(subset_true, subset_pred)),
+            "recall": float(recall_score(subset_true, subset_pred)),
+        }
+    return out
+
+
+class BenchmarkRunner:
+    """Runs evaluations and accumulates a :class:`ResultStore`.
+
+    One engine (and hence one shared cache) serves every evaluation, so
+    each (algorithm, dataset) featurization happens exactly once per
+    process no matter how many train/test combinations reuse it.
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: ExecutionEngine | None = None,
+        test_size: float = 0.3,
+        seed: int = 0,
+        strict: bool = True,
+    ) -> None:
+        self.engine = engine or ExecutionEngine(track_memory=False)
+        self.test_size = test_size
+        self.seed = seed
+        self.strict = strict
+        self.store = ResultStore()
+
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self, algorithm_id: str, train_id: str, test_id: str
+    ) -> EvaluationResult:
+        """Evaluate one (algorithm, train dataset, test dataset) cell."""
+        spec = build_algorithm(algorithm_id)
+        for dataset_id in {train_id, test_id}:
+            dataset = DATASETS[dataset_id]
+            if not can_evaluate(
+                spec.granularity, dataset.granularity, strict=self.strict
+            ):
+                raise ValueError(
+                    f"unfaithful evaluation: {algorithm_id} "
+                    f"({spec.granularity.name}) on {dataset_id} "
+                    f"({dataset.granularity.name})"
+                )
+        started = time.perf_counter()
+        if train_id == test_id:
+            result = self._evaluate_same(spec, train_id)
+        else:
+            result = self._evaluate_cross(spec, train_id, test_id)
+        elapsed = time.perf_counter() - started
+        record = EvaluationResult(seconds=round(elapsed, 4), **result)
+        self.store.add(record)
+        return record
+
+    def _evaluate_same(self, spec: AlgorithmSpec, dataset_id: str) -> dict:
+        X, y, attack_ids, attack_names = _featurize_with_attacks(
+            spec, dataset_id, self.engine
+        )
+        idx_train, idx_test = stratified_split_indices(
+            y, test_size=self.test_size, seed=self.seed
+        )
+        X_train, X_test = X[idx_train], X[idx_test]
+        y_train, y_test = y[idx_train], y[idx_test]
+        model = spec.build_model()
+        model.fit(X_train, y_train)
+        predictions = np.asarray(model.predict(X_test))
+        metrics = classification_summary(y_test, predictions)
+        return {
+            "algorithm": spec.algorithm_id,
+            "train_dataset": dataset_id,
+            "test_dataset": dataset_id,
+            "mode": "same",
+            "granularity": spec.granularity.name,
+            "n_train": len(y_train),
+            "n_test": len(y_test),
+            "per_attack": _per_attack_metrics(
+                y_test, predictions, attack_ids[idx_test], attack_names
+            ),
+            **{k: float(v) for k, v in metrics.items()},
+        }
+
+    def _evaluate_cross(
+        self, spec: AlgorithmSpec, train_id: str, test_id: str
+    ) -> dict:
+        X_train, y_train, _, _ = _featurize_with_attacks(
+            spec, train_id, self.engine
+        )
+        X_test, y_test, attack_ids, attack_names = _featurize_with_attacks(
+            spec, test_id, self.engine
+        )
+        model = spec.build_model()
+        model.fit(X_train, y_train)
+        predictions = np.asarray(model.predict(X_test))
+        metrics = classification_summary(y_test, predictions)
+        return {
+            "algorithm": spec.algorithm_id,
+            "train_dataset": train_id,
+            "test_dataset": test_id,
+            "mode": "cross",
+            "granularity": spec.granularity.name,
+            "n_train": len(y_train),
+            "n_test": len(y_test),
+            "per_attack": _per_attack_metrics(
+                y_test, predictions, attack_ids, attack_names
+            ),
+            **{k: float(v) for k, v in metrics.items()},
+        }
+
+    # ------------------------------------------------------------------
+
+    def run_same_dataset(
+        self,
+        algorithm_ids: list[str] | None = None,
+        dataset_ids: list[str] | None = None,
+    ) -> ResultStore:
+        """Same-dataset evaluations for every faithful combination."""
+        for algorithm_id, dataset_id in faithful_pairs(
+            algorithm_ids, dataset_ids, strict=self.strict
+        ):
+            self.evaluate(algorithm_id, dataset_id, dataset_id)
+        return self.store
+
+    def run_cross_dataset(
+        self,
+        algorithm_ids: list[str] | None = None,
+        dataset_ids: list[str] | None = None,
+    ) -> ResultStore:
+        """Cross-dataset evaluations: each algorithm on every ordered
+        pair of distinct datasets it can faithfully consume."""
+        pairs = faithful_pairs(algorithm_ids, dataset_ids, strict=self.strict)
+        by_algorithm: dict[str, list[str]] = {}
+        for algorithm_id, dataset_id in pairs:
+            by_algorithm.setdefault(algorithm_id, []).append(dataset_id)
+        for algorithm_id, datasets in by_algorithm.items():
+            for train_id in datasets:
+                for test_id in datasets:
+                    if train_id != test_id:
+                        self.evaluate(algorithm_id, train_id, test_id)
+        return self.store
+
+    def run_matrix(
+        self,
+        algorithm_ids: list[str] | None = None,
+        dataset_ids: list[str] | None = None,
+    ) -> ResultStore:
+        """Both evaluation modes (the full Section 5 matrix)."""
+        self.run_same_dataset(algorithm_ids, dataset_ids)
+        self.run_cross_dataset(algorithm_ids, dataset_ids)
+        return self.store
+
+
+def evaluate_same_dataset(
+    algorithm, table_or_id, *, test_size: float = 0.3, seed: int = 0
+) -> EvaluationResult:
+    """Convenience one-shot evaluation (quickstart API).
+
+    ``algorithm`` may be an id or an :class:`AlgorithmSpec`;
+    ``table_or_id`` a dataset id from the registry.
+    """
+    spec = (
+        algorithm
+        if isinstance(algorithm, AlgorithmSpec)
+        else build_algorithm(algorithm)
+    )
+    runner = BenchmarkRunner(test_size=test_size, seed=seed)
+    if isinstance(table_or_id, str):
+        return runner.evaluate(spec.algorithm_id, table_or_id, table_or_id)
+    raise TypeError("pass a dataset id from repro.datasets")
+
+
+def evaluate_cross_dataset(
+    algorithm, train_id: str, test_id: str, *, seed: int = 0
+) -> EvaluationResult:
+    """Convenience one-shot cross-dataset evaluation."""
+    spec = (
+        algorithm
+        if isinstance(algorithm, AlgorithmSpec)
+        else build_algorithm(algorithm)
+    )
+    runner = BenchmarkRunner(seed=seed)
+    return runner.evaluate(spec.algorithm_id, train_id, test_id)

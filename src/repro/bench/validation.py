@@ -1,0 +1,116 @@
+"""Section 5.2 validation: Lumen-measured scores vs reported numbers.
+
+The paper validates its reimplementations two ways: exact feature
+equality against reference tools (our equivalents are unit tests in
+``tests/``), and score comparisons against the numbers original papers
+reported.  This module re-creates the second table.  As in the paper,
+agreement is expected for the supervised algorithms and *disagreement*
+is expected (and reported honestly) for the OCSVM family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms import build_algorithm
+from repro.core import ExecutionEngine
+from repro.datasets import load_dataset
+from repro.ml import roc_auc_score
+from repro.ml.model_selection import stratified_split_indices
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One validation check: a reported number vs what we measure."""
+
+    algorithm: str
+    datasets: str
+    metric: str
+    reported: float
+    measured: float
+
+    @property
+    def close(self) -> bool:
+        return abs(self.reported - self.measured) <= 0.1
+
+
+def _same_dataset_precision(algorithm_id: str, dataset_id: str, seed: int = 0) -> float:
+    from repro.bench.runner import BenchmarkRunner
+
+    runner = BenchmarkRunner(seed=seed)
+    return runner.evaluate(algorithm_id, dataset_id, dataset_id).precision
+
+
+def _mean_precision(algorithm_id: str, dataset_ids: list[str]) -> float:
+    return float(
+        np.mean([_same_dataset_precision(algorithm_id, d) for d in dataset_ids])
+    )
+
+
+def _auc(algorithm_id: str, dataset_ids: list[str], seed: int = 0) -> float:
+    """Held-out AUC of an anomaly algorithm's scores, averaged."""
+    engine = ExecutionEngine(track_memory=False)
+    spec = build_algorithm(algorithm_id)
+    aucs = []
+    for dataset_id in dataset_ids:
+        X, y = spec.featurize(load_dataset(dataset_id), engine, dataset_id)
+        train_idx, test_idx = stratified_split_indices(y, seed=seed)
+        model = spec.build_model()
+        model.fit(X[train_idx], y[train_idx])
+        scores = model.score_samples(X[test_idx])
+        aucs.append(roc_auc_score(y[test_idx], scores))
+    return float(np.mean(aucs))
+
+
+def validation_report(*, quick: bool = False) -> list[ValidationRow]:
+    """The Section 5.2 score-validation table.
+
+    Reference points (paper Section 5.2):
+    * A10 on CICIDS-2017 DoS (our F1): authors report 99% precision.
+    * A14 on the CTU datasets (our F4-F9): authors report 99.9% mean
+      precision; Lumen measured 99.6%.
+    * A07 on CICIDS 2017 (F0-F2): authors report 78.6% AUC; Lumen
+      measured 66% -- a deliberate mismatch the paper attributes to
+      hyperparameters.
+    * A07 on CTU (F4-F9): authors report 75% AUC; Lumen measured 49.2%.
+    """
+    ctu = ["F4", "F6"] if quick else ["F4", "F5", "F6", "F7", "F8", "F9"]
+    cicids = ["F0", "F1"] if quick else ["F0", "F1", "F2"]
+    return [
+        ValidationRow(
+            "A10 (smartdet)", "F1", "precision",
+            reported=0.99,
+            measured=_same_dataset_precision("A10", "F1"),
+        ),
+        ValidationRow(
+            "A14 (Zeek)", "+".join(ctu), "mean precision",
+            reported=0.999,
+            measured=_mean_precision("A14", ctu),
+        ),
+        ValidationRow(
+            "A07 (OCSVM)", "+".join(cicids), "AUC",
+            reported=0.786,
+            measured=_auc("A07", cicids),
+        ),
+        ValidationRow(
+            "A07 (OCSVM)", "+".join(ctu), "AUC",
+            reported=0.75,
+            measured=_auc("A07", ctu),
+        ),
+    ]
+
+
+def render_validation(rows: list[ValidationRow]) -> str:
+    lines = [
+        f"{'algorithm':<16} {'datasets':<20} {'metric':<15} "
+        f"{'reported':>9} {'measured':>9}  close"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.algorithm:<16} {row.datasets:<20} {row.metric:<15} "
+            f"{row.reported:>9.3f} {row.measured:>9.3f}  "
+            f"{'yes' if row.close else 'no'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,335 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The operator-facing surface of the benchmarking suite:
+
+* ``datasets`` / ``algorithms`` / ``operations`` -- inventories;
+* ``evaluate`` -- one (algorithm, train, test) evaluation;
+* ``matrix`` -- the full faithful matrix, saved as JSON/CSV;
+* ``figure`` -- render any Section 5 figure from saved results;
+* ``validate`` -- the Section 5.2 validation table;
+* ``profile`` -- per-operation time/memory for one featurization;
+* ``synthesize`` -- the Section 5.4 greedy AM search.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.datasets import DATASETS, load_dataset
+
+    for dataset_id, spec in DATASETS.items():
+        line = (
+            f"{dataset_id}  {spec.granularity.name:<11} "
+            f"{spec.stands_in_for:<26} attacks: {', '.join(spec.attacks)}"
+        )
+        if args.verbose:
+            line += f"\n      {load_dataset(dataset_id).summary()}"
+        print(line)
+    return 0
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    from repro.algorithms import ALGORITHMS
+
+    for algorithm_id, spec in sorted(ALGORITHMS.items()):
+        print(
+            f"{algorithm_id}  {spec.name:<38} {spec.granularity.name:<11} "
+            f"{spec.paper}"
+        )
+    return 0
+
+
+def _cmd_operations(args: argparse.Namespace) -> int:
+    from repro.core import OPERATIONS
+
+    for name, operation in sorted(OPERATIONS.items()):
+        inputs = ", ".join(t.value for t in operation.input_types) or "-"
+        print(f"{name:<20} ({inputs}) -> {operation.output_type.value}")
+        if args.verbose:
+            print(f"    {operation.description.splitlines()[0]}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.bench import BenchmarkRunner
+
+    runner = BenchmarkRunner(seed=args.seed)
+    test = args.test or args.train
+    result = runner.evaluate(args.algorithm, args.train, test)
+    print(
+        f"{result.algorithm} trained on {result.train_dataset}, tested on "
+        f"{result.test_dataset} ({result.mode}):"
+    )
+    print(f"  precision {result.precision:.3f}  recall {result.recall:.3f}  "
+          f"f1 {result.f1:.3f}  accuracy {result.accuracy:.3f}")
+    if result.per_attack:
+        print("  per attack:")
+        for attack, metrics in result.per_attack.items():
+            print(f"    {attack:<22} precision {metrics['precision']:.3f} "
+                  f"recall {metrics['recall']:.3f}")
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.bench import BenchmarkRunner
+
+    runner = BenchmarkRunner(seed=args.seed)
+    algorithms = args.algorithms.split(",") if args.algorithms else None
+    datasets = args.datasets.split(",") if args.datasets else None
+    runner.run_matrix(algorithms, datasets)
+    runner.store.save_json(args.out)
+    if args.csv:
+        runner.store.save_csv(args.csv)
+    print(f"{len(runner.store)} evaluations -> {args.out}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        ResultStore,
+        best_gap_by_algorithm,
+        distribution_by_algorithm,
+        per_attack_precision,
+        train_test_median_matrix,
+    )
+
+    store = ResultStore.load_json(args.results)
+    name = args.name
+    if name in ("fig1b", "fig8"):
+        print(distribution_by_algorithm(store, metric=args.metric,
+                                        mode="same").render())
+    elif name in ("fig1c", "fig9"):
+        print(distribution_by_algorithm(store, metric=args.metric,
+                                        mode="cross").render())
+    elif name == "fig5":
+        print(per_attack_precision(store, metric=args.metric).render())
+    elif name == "fig7":
+        print(best_gap_by_algorithm(store, metric=args.metric).render())
+    elif name == "fig10":
+        print(train_test_median_matrix(store, metric=args.metric).render())
+    else:
+        print(f"unknown figure: {name}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.bench.validation import render_validation, validation_report
+
+    print(render_validation(validation_report(quick=args.quick)))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.algorithms import build_algorithm
+    from repro.core import ExecutionEngine, Pipeline
+    from repro.datasets import load_dataset
+
+    spec = build_algorithm(args.algorithm)
+    engine = ExecutionEngine(use_cache=False, track_memory=True)
+    engine.run(
+        Pipeline.from_template(list(spec.feature_template)),
+        load_dataset(args.dataset),
+        outputs=["X", "y"],
+    )
+    print(engine.last_report.render())
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.algorithms.synthesis import GreedySynthesizer
+
+    datasets = args.datasets.split(",")
+    synthesizer = GreedySynthesizer(datasets, fraction=args.fraction,
+                                    seed=args.seed)
+    synthesizer.search(max_blocks=args.max_blocks)
+    ranked = sorted(synthesizer.results, key=lambda r: r.f1, reverse=True)
+    print(f"{len(ranked)} candidates; best {args.top}:")
+    for result in ranked[: args.top]:
+        print(f"  {result.describe()}")
+    if args.out:
+        payload = [result.__dict__ for result in ranked]
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, default=list)
+        print(f"saved -> {args.out}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
+    from repro.net.inspect import describe_trace, render_description
+
+    table = load_dataset(args.dataset)
+    print(render_description(describe_trace(table)))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.bench.diffing import diff_stores, render_diff
+    from repro.bench.results import ResultStore
+
+    before = ResultStore.load_json(args.before)
+    after = ResultStore.load_json(args.after)
+    diff = diff_stores(before, after)
+    print(render_diff(diff))
+    return 0 if diff.is_clean else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.report import generate_report
+    from repro.bench.results import ResultStore
+
+    store = ResultStore.load_json(args.results)
+    text = generate_report(store)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report -> {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
+    from repro.datasets.export import export_dataset
+
+    table = load_dataset(args.dataset)
+    pcap_path, labels_path = export_dataset(table, args.directory,
+                                            args.dataset)
+    print(f"wrote {pcap_path} and {labels_path} ({len(table)} packets)")
+    return 0
+
+
+def _cmd_template(args: argparse.Namespace) -> int:
+    from repro.core.template_io import save_template, starter_template
+
+    template = starter_template(args.starter)
+    save_template(template, args.out)
+    print(f"wrote starter template {args.starter!r} -> {args.out}")
+    return 0
+
+
+def _cmd_run_template(args: argparse.Namespace) -> int:
+    from repro.core import ExecutionEngine
+    from repro.core.template_io import load_pipeline
+    from repro.datasets import load_dataset
+
+    pipeline = load_pipeline(args.template)
+    engine = ExecutionEngine(track_memory=True)
+    out = engine.run(pipeline, load_dataset(args.dataset))
+    for name, value in out.items():
+        print(f"{name}: {value}")
+    print()
+    print(engine.last_report.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lumen reproduction: develop and evaluate ML-based "
+        "IoT network anomaly detection.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list the benchmark datasets")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_datasets)
+
+    p = sub.add_parser("algorithms", help="list the algorithm catalog")
+    p.set_defaults(fn=_cmd_algorithms)
+
+    p = sub.add_parser("operations", help="list the framework operations")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_operations)
+
+    p = sub.add_parser("evaluate", help="run one evaluation")
+    p.add_argument("algorithm")
+    p.add_argument("train")
+    p.add_argument("test", nargs="?", default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_evaluate)
+
+    p = sub.add_parser("matrix", help="run the faithful evaluation matrix")
+    p.add_argument("--algorithms", default=None,
+                   help="comma-separated ids (default: all)")
+    p.add_argument("--datasets", default=None)
+    p.add_argument("--out", default="results.json")
+    p.add_argument("--csv", default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_matrix)
+
+    p = sub.add_parser("figure", help="render a figure from saved results")
+    p.add_argument("name",
+                   choices=["fig1b", "fig1c", "fig5", "fig7", "fig8",
+                            "fig9", "fig10"])
+    p.add_argument("--results", default="results.json")
+    p.add_argument("--metric", default="precision",
+                   choices=["precision", "recall", "f1", "accuracy"])
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("validate", help="the Section 5.2 validation table")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("profile", help="profile one featurization")
+    p.add_argument("algorithm")
+    p.add_argument("dataset")
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser("inspect", help="operator summary of one dataset")
+    p.add_argument("dataset")
+    p.set_defaults(fn=_cmd_inspect)
+
+    p = sub.add_parser("diff", help="compare two saved result stores")
+    p.add_argument("before")
+    p.add_argument("after")
+    p.set_defaults(fn=_cmd_diff)
+
+    p = sub.add_parser("report", help="markdown report from saved results")
+    p.add_argument("--results", default="results.json")
+    p.add_argument("--out", default=None)
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("export", help="export a dataset as pcap + labels")
+    p.add_argument("dataset")
+    p.add_argument("--directory", default="exported")
+    p.set_defaults(fn=_cmd_export)
+
+    p = sub.add_parser("template", help="write a starter template file")
+    p.add_argument("--starter", default="connection-rf",
+                   choices=["connection-rf", "packet-anomaly",
+                            "windowed-flow"])
+    p.add_argument("--out", default="template.json")
+    p.set_defaults(fn=_cmd_template)
+
+    p = sub.add_parser("run-template",
+                       help="validate and run a template file")
+    p.add_argument("template")
+    p.add_argument("dataset")
+    p.set_defaults(fn=_cmd_run_template)
+
+    p = sub.add_parser("synthesize", help="greedy AM synthesis (Sec. 5.4)")
+    p.add_argument("--datasets", default="F0,F1,F4,F6")
+    p.add_argument("--fraction", type=float, default=0.1)
+    p.add_argument("--max-blocks", type=int, default=2)
+    p.add_argument("--top", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None)
+    p.set_defaults(fn=_cmd_synthesize)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,294 @@
+"""The execution engine.
+
+Runs a validated :class:`~repro.core.pipeline.Pipeline` against a trace,
+adding the three services the paper describes:
+
+* **Profiling** -- wall time and peak memory per operation
+  (:mod:`repro.core.profiling`), so users see which operations need
+  optimisation.
+* **Memory optimisation** -- dead-value elimination: a value is dropped
+  from the environment right after its last consumer runs.
+* **Intermediate-result sharing** -- deterministic operations are cached
+  across runs keyed by the chain of (operation, parameters) hashes
+  rooted at the source trace's fingerprint, so e.g. the nPrint variants
+  A01-A04 pay for header-bit extraction once, and every
+  connection-level algorithm shares one Groupby per dataset.
+
+The engine can also execute independent steps concurrently
+(``parallel=True``): steps whose inputs are all available run in one
+thread pool wave, which is the map-reduce shape the paper exploits with
+Ray.  Results are identical either way because operations are pure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import tracemalloc
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.core.errors import PipelineError
+from repro.core.pipeline import Pipeline, SOURCE_NAME
+from repro.core.profiling import OperationProfile, ProfileReport
+from repro.core.types import ValueType, check_type
+from repro.net.table import PacketTable
+
+
+def fingerprint_table(table: PacketTable) -> str:
+    """A content hash of a trace, used as the cache root key."""
+    digest = hashlib.sha1()
+    for name in sorted(table.columns):
+        digest.update(name.encode())
+        digest.update(table.columns[name].tobytes())
+    digest.update("|".join(table.attacks).encode())
+    return digest.hexdigest()
+
+
+def _params_token(params: dict) -> str:
+    return json.dumps(params, sort_keys=True, default=repr)
+
+
+class _ResultCache:
+    """A bounded LRU cache shared by every engine instance.
+
+    With ``disk_dir`` set (or the ``REPRO_DISK_CACHE`` environment
+    variable), numpy-array results additionally persist to ``.npz``
+    files so featurizations survive process restarts -- the expensive
+    part of rebuilding the evaluation matrix.  Non-array values
+    (tables, flows) stay memory-only.
+    """
+
+    def __init__(self, max_entries: int = 256, disk_dir: str | None = None) -> None:
+        import os
+
+        self.max_entries = max_entries
+        self.disk_dir = disk_dir or os.environ.get("REPRO_DISK_CACHE")
+        self._store: OrderedDict[str, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def _disk_path(self, key: str):
+        from pathlib import Path
+
+        return Path(self.disk_dir) / f"{key}.npz"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        if key in self._store:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return True, self._store[key]
+        if self.disk_dir:
+            path = self._disk_path(key)
+            if path.exists():
+                import numpy as _np
+
+                try:
+                    with _np.load(path, allow_pickle=False) as data:
+                        value = data["value"]
+                except (OSError, KeyError, ValueError):
+                    value = None
+                if value is not None:
+                    self.hits += 1
+                    self.disk_hits += 1
+                    self.put(key, value, write_disk=False)
+                    return True, value
+        self.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any, *, write_disk: bool = True) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        if self.disk_dir and write_disk:
+            import numpy as _np
+
+            if isinstance(value, _np.ndarray):
+                from pathlib import Path
+
+                Path(self.disk_dir).mkdir(parents=True, exist_ok=True)
+                _np.savez_compressed(self._disk_path(key), value=value)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+#: value types worth caching across runs (models are re-trained so
+#: hyperparameter seeds behave; metrics are trivially recomputed)
+_CACHEABLE = {
+    ValueType.PACKETS,
+    ValueType.FLOWS,
+    ValueType.FEATURES,
+    ValueType.LABELS,
+}
+
+
+class ExecutionEngine:
+    """Executes pipelines with profiling, caching and DCE."""
+
+    shared_cache = _ResultCache()
+
+    def __init__(
+        self,
+        *,
+        use_cache: bool = True,
+        parallel: bool = False,
+        max_workers: int = 4,
+        track_memory: bool = True,
+    ) -> None:
+        self.use_cache = use_cache
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.track_memory = track_memory
+        self.last_report: ProfileReport | None = None
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        pipeline: Pipeline,
+        source: PacketTable,
+        *,
+        outputs: list[str] | None = None,
+        source_token: str | None = None,
+    ) -> dict[str, Any]:
+        """Execute the pipeline; return the requested output values.
+
+        ``outputs`` defaults to the final step's output.  Pass a
+        ``source_token`` (e.g. the dataset id) to key the shared cache
+        without hashing the trace content.
+        """
+        wanted = outputs if outputs is not None else [pipeline.output_name]
+        token = source_token or fingerprint_table(source)
+        env: dict[str, Any] = {SOURCE_NAME: source}
+        keys: dict[str, str] = {SOURCE_NAME: f"src:{token}"}
+        last_use = pipeline.consumers()
+        report = ProfileReport()
+
+        if self.parallel:
+            # tracemalloc state is process-global; per-step memory
+            # tracking is meaningless (and racy) across threads.
+            previous = self.track_memory
+            self.track_memory = False
+            try:
+                self._run_parallel(pipeline, env, keys, wanted, last_use, report)
+            finally:
+                self.track_memory = previous
+        else:
+            for index, call in enumerate(pipeline.calls):
+                self._run_step(index, call, env, keys, report)
+                self._collect_garbage(index, env, last_use, wanted)
+
+        self.last_report = report
+        missing = [name for name in wanted if name not in env]
+        if missing:
+            raise KeyError(f"pipeline never produced outputs: {missing}")
+        return {name: env[name] for name in wanted}
+
+    # ------------------------------------------------------------------
+
+    def _step_key(self, call, keys: dict[str, str]) -> str:
+        inputs = ",".join(keys[name] for name in call.inputs)
+        raw = f"{call.name}({_params_token(call.params)})<-[{inputs}]"
+        return hashlib.sha1(raw.encode()).hexdigest()
+
+    def _run_step(self, index, call, env, keys, report) -> None:
+        key = self._step_key(call, keys)
+        keys[call.output] = key
+        cacheable = (
+            self.use_cache and call.operation.output_type in _CACHEABLE
+        )
+        if cacheable:
+            hit, value = self.shared_cache.get(key)
+            if hit:
+                env[call.output] = value
+                report.profiles.append(
+                    OperationProfile(
+                        step=index,
+                        operation=call.name,
+                        output_name=call.output,
+                        wall_seconds=0.0,
+                        peak_memory_bytes=0,
+                        cached=True,
+                    )
+                )
+                return
+        inputs = [env[name] for name in call.inputs]
+        for value, expected in zip(inputs, call.operation.input_types):
+            check_type(value, expected, f"operation {call.name!r}")
+        if self.track_memory:
+            tracemalloc.start()
+        started = time.perf_counter()
+        try:
+            result = call.operation.fn(inputs, call.params)
+        except Exception as exc:
+            if self.track_memory:
+                tracemalloc.stop()
+            if isinstance(exc, PipelineError):
+                raise
+            raise PipelineError(call.name, index, exc) from exc
+        elapsed = time.perf_counter() - started
+        peak = 0
+        if self.track_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        env[call.output] = result
+        if cacheable:
+            self.shared_cache.put(key, result)
+        report.profiles.append(
+            OperationProfile(
+                step=index,
+                operation=call.name,
+                output_name=call.output,
+                wall_seconds=elapsed,
+                peak_memory_bytes=int(peak),
+            )
+        )
+
+    @staticmethod
+    def _collect_garbage(index, env, last_use, wanted) -> None:
+        """Dead-value elimination after step ``index`` has run."""
+        for name, last in list(last_use.items()):
+            if last == index and name not in wanted and name != SOURCE_NAME:
+                env.pop(name, None)
+
+    # ------------------------------------------------------------------
+
+    def _run_parallel(self, pipeline, env, keys, wanted, last_use, report) -> None:
+        """Execute in dataflow waves: each wave runs every step whose
+        inputs are already available, concurrently."""
+        pending = list(enumerate(pipeline.calls))
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            while pending:
+                ready = [
+                    (index, call)
+                    for index, call in pending
+                    if all(name in env for name in call.inputs)
+                ]
+                if not ready:
+                    names = [call.output for _, call in pending]
+                    raise PipelineError(
+                        names[0], pending[0][0],
+                        RuntimeError("dataflow deadlock (cyclic inputs?)"),
+                    )
+                futures = [
+                    pool.submit(self._run_step, index, call, env, keys, report)
+                    for index, call in ready
+                ]
+                for future in futures:
+                    future.result()
+                done = {index for index, _ in ready}
+                pending = [item for item in pending if item[0] not in done]
+        # wave mode frees memory between waves rather than per step
+        max_index = len(pipeline.calls) - 1
+        self._collect_garbage(max_index, env, last_use, wanted)

@@ -1,0 +1,21 @@
+"""Framework error types."""
+
+from __future__ import annotations
+
+
+class TemplateError(ValueError):
+    """The template file is malformed: unknown operation, missing
+    parameter, undefined input name, or a type mismatch between
+    connected operations.  Raised during validation, before execution."""
+
+
+class PipelineError(RuntimeError):
+    """An operation failed at execution time."""
+
+    def __init__(self, operation: str, step: int, cause: Exception) -> None:
+        super().__init__(
+            f"operation {operation!r} (step {step}) failed: {cause}"
+        )
+        self.operation = operation
+        self.step = step
+        self.cause = cause

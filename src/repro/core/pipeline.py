@@ -1,0 +1,171 @@
+"""The template language: parsing and validation.
+
+A Lumen algorithm is written as a list of operation descriptions, each a
+dict exactly like the paper's Figure 4::
+
+    algorithm = [
+        {"func": "FieldExtract", "input": None, "output": "Packets",
+         "param": ["srcIP", "dstIP", "TCPFlags", "packetLength"]},
+        {"func": "Groupby", "input": ["Packets"],
+         "output": "Grouped_packets", "flowid": ["5tuple"]},
+        {"func": "ApplyAggregates", "input": ["Sliced_packets"],
+         "output": "Features", "list": [...]},
+        {"func": "model", "model_type": "RandomForest",
+         "input": None, "output": "clf1"},
+        {"func": "train", "input": ["clf1", "Features"],
+         "output": "save_path"},
+    ]
+
+``input`` may be ``None`` (source operations, or operations consuming
+the implicit trace), a single name, or a list of names.  Any key other
+than ``func``/``input``/``output`` is an operation parameter (``param``
+is accepted as an alias for the operation's first required parameter,
+matching the paper's template style).
+
+:meth:`Pipeline.validate` performs the engine's static checks before
+execution: operations exist, parameters are complete, every input name
+is defined by an earlier step, and the declared value types line up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import TemplateError
+from repro.core.operations import OPERATIONS, Operation
+from repro.core.types import ValueType
+
+
+@dataclass(frozen=True)
+class OperationCall:
+    """One validated step: the operation, its inputs and parameters."""
+
+    operation: Operation
+    inputs: tuple[str, ...]
+    output: str
+    params: dict
+
+    @property
+    def name(self) -> str:
+        return self.operation.name
+
+
+#: the reserved name for the trace a pipeline is run against
+SOURCE_NAME = "__source__"
+
+
+def _normalise_inputs(raw: object, operation: Operation) -> tuple[str, ...]:
+    if raw is None:
+        # Operations that take packets may consume the implicit source.
+        if operation.input_types and operation.input_types[0] in (
+            ValueType.PACKETS,
+            ValueType.ANY,
+        ):
+            return (SOURCE_NAME,)
+        return ()
+    if isinstance(raw, str):
+        return (raw,)
+    if isinstance(raw, (list, tuple)):
+        if not all(isinstance(item, str) for item in raw):
+            raise TemplateError("input names must be strings")
+        return tuple(raw)
+    raise TemplateError(f"bad input specification: {raw!r}")
+
+
+@dataclass
+class Pipeline:
+    """A validated sequence of operation calls."""
+
+    calls: list[OperationCall] = field(default_factory=list)
+
+    @classmethod
+    def from_template(cls, template: list[dict]) -> "Pipeline":
+        """Parse + validate a template (the Figure 4 format)."""
+        if not template:
+            raise TemplateError("empty template")
+        calls: list[OperationCall] = []
+        for index, step in enumerate(template):
+            if not isinstance(step, dict):
+                raise TemplateError(f"step {index} is not a mapping")
+            step = dict(step)
+            func = step.pop("func", None)
+            if not func:
+                raise TemplateError(f"step {index} has no 'func'")
+            operation = OPERATIONS.get(func)
+            if operation is None:
+                known = ", ".join(sorted(OPERATIONS))
+                raise TemplateError(
+                    f"step {index}: unknown operation {func!r} "
+                    f"(known operations: {known})"
+                )
+            raw_input = step.pop("input", None)
+            output = step.pop("output", None)
+            if not output:
+                raise TemplateError(f"step {index} ({func}) has no 'output'")
+            # "param" is the paper's alias for the first required param
+            if "param" in step and operation.required_params:
+                step[operation.required_params[0]] = step.pop("param")
+            params = operation.validate_params(step)
+            calls.append(
+                OperationCall(
+                    operation=operation,
+                    inputs=_normalise_inputs(raw_input, operation),
+                    output=str(output),
+                    params=params,
+                )
+            )
+        pipeline = cls(calls)
+        pipeline.validate()
+        return pipeline
+
+    def validate(self) -> None:
+        """Static checks: dataflow and type compatibility."""
+        defined: dict[str, ValueType] = {SOURCE_NAME: ValueType.PACKETS}
+        for index, call in enumerate(self.calls):
+            expected = call.operation.input_types
+            if len(call.inputs) != len(expected):
+                raise TemplateError(
+                    f"step {index} ({call.name}): takes {len(expected)} "
+                    f"input(s), got {len(call.inputs)}"
+                )
+            for name, want in zip(call.inputs, expected):
+                if name not in defined:
+                    raise TemplateError(
+                        f"step {index} ({call.name}): input {name!r} is "
+                        f"not defined by any earlier step"
+                    )
+                have = defined[name]
+                compatible = (
+                    want is ValueType.ANY
+                    or have is ValueType.ANY
+                    or have is want
+                    or {have, want}
+                    <= {ValueType.LABELS, ValueType.PREDICTIONS}
+                )
+                if not compatible:
+                    raise TemplateError(
+                        f"step {index} ({call.name}): input {name!r} has "
+                        f"type {have.value}, expected {want.value}"
+                    )
+            defined[call.output] = call.operation.output_type
+
+    # ------------------------------------------------------------------
+
+    def consumers(self) -> dict[str, int]:
+        """For each value name, the index of its last consuming step.
+
+        Used by the engine's dead-value elimination: after a value's
+        last consumer has run, the engine drops it from the environment
+        ("removing variables/data that are not used in future
+        operations to conserve memory").
+        """
+        last_use: dict[str, int] = {}
+        for index, call in enumerate(self.calls):
+            for name in call.inputs:
+                last_use[name] = index
+        return last_use
+
+    @property
+    def output_name(self) -> str:
+        """The final step's output (the pipeline's result by default)."""
+        return self.calls[-1].output

@@ -1,0 +1,62 @@
+"""Per-operation execution profiles.
+
+The paper: "the execution engine generates plots of memory and time
+spent in each operation" to point users at the operations needing
+optimisation.  The engine records an :class:`OperationProfile` per step;
+:class:`ProfileReport` renders the table and flags hotspots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OperationProfile:
+    """Wall time and peak memory of one executed operation."""
+
+    step: int
+    operation: str
+    output_name: str
+    wall_seconds: float
+    peak_memory_bytes: int
+    cached: bool = False
+
+
+@dataclass
+class ProfileReport:
+    """All profiles of one pipeline run."""
+
+    profiles: list[OperationProfile] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(p.wall_seconds for p in self.profiles)
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        return max((p.peak_memory_bytes for p in self.profiles), default=0)
+
+    def hotspots(self, top: int = 3) -> list[OperationProfile]:
+        """The slowest uncached operations, most expensive first."""
+        live = [p for p in self.profiles if not p.cached]
+        return sorted(live, key=lambda p: p.wall_seconds, reverse=True)[:top]
+
+    def render(self) -> str:
+        """A fixed-width text table of the run."""
+        lines = [
+            f"{'step':>4}  {'operation':<20} {'output':<18} "
+            f"{'time (s)':>9}  {'peak mem':>10}  cached"
+        ]
+        for p in self.profiles:
+            memory = f"{p.peak_memory_bytes / 1024:.0f} KiB"
+            lines.append(
+                f"{p.step:>4}  {p.operation:<20} {p.output_name:<18} "
+                f"{p.wall_seconds:>9.4f}  {memory:>10}  "
+                f"{'yes' if p.cached else 'no'}"
+            )
+        lines.append(
+            f"total: {self.total_seconds:.4f}s, "
+            f"peak {self.peak_memory_bytes / 1024:.0f} KiB"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Segmented (per-flow) helpers shared by the aggregate operations.
+
+All helpers take ``flow_of_pos`` -- the flow index of every packet
+position in flow-grouped order -- and compute one value per flow without
+Python-level loops over packets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def flow_membership(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flow index for every position in flow-grouped packet order."""
+    return np.repeat(np.arange(len(starts)), counts)
+
+
+def segmented_nunique(
+    flow_of_pos: np.ndarray, values: np.ndarray, n_flows: int
+) -> np.ndarray:
+    """Number of distinct ``values`` within each flow."""
+    if len(flow_of_pos) == 0:
+        return np.zeros(n_flows, dtype=np.float64)
+    pairs = np.stack([flow_of_pos, values.astype(np.int64)], axis=1)
+    unique_pairs = np.unique(pairs, axis=0)
+    return np.bincount(unique_pairs[:, 0], minlength=n_flows).astype(np.float64)
+
+
+def segmented_entropy(
+    flow_of_pos: np.ndarray, values: np.ndarray, n_flows: int
+) -> np.ndarray:
+    """Shannon entropy (bits) of the value distribution within each flow."""
+    if len(flow_of_pos) == 0:
+        return np.zeros(n_flows, dtype=np.float64)
+    pairs = np.stack([flow_of_pos, values.astype(np.int64)], axis=1)
+    unique_pairs, counts = np.unique(pairs, axis=0, return_counts=True)
+    flow_totals = np.bincount(
+        unique_pairs[:, 0], weights=counts, minlength=n_flows
+    )
+    probabilities = counts / flow_totals[unique_pairs[:, 0]]
+    contributions = -probabilities * np.log2(probabilities)
+    out = np.zeros(n_flows, dtype=np.float64)
+    np.add.at(out, unique_pairs[:, 0], contributions)
+    return out
+
+
+def segmented_median(
+    flow_of_pos: np.ndarray,
+    values: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+) -> np.ndarray:
+    """Median of ``values`` within each flow (values in grouped order).
+
+    Within each flow the values are sorted once; the median is read at
+    the middle offsets, which keeps the whole thing a single argsort.
+    """
+    n_flows = len(starts)
+    if len(values) == 0:
+        return np.zeros(n_flows, dtype=np.float64)
+    # Sort by (flow, value) so each flow's values are contiguous sorted.
+    order = np.lexsort((values, flow_of_pos))
+    sorted_values = values[order].astype(np.float64)
+    lows = starts + (counts - 1) // 2
+    highs = starts + counts // 2
+    return (sorted_values[lows] + sorted_values[highs]) / 2.0

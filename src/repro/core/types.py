@@ -1,0 +1,63 @@
+"""Value types flowing through a Lumen pipeline.
+
+The paper: "each operation in the template is a configurable operation
+and has an input, output, and algorithm-specific parameter.  The input
+and output of each operation can either be packets or packets grouped by
+a particular attribute."  We extend that to the full set a template
+needs: feature matrices, labels, models, predictions and metric bundles,
+so the engine's type checker can reject ill-formed templates before any
+work happens.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.flows.records import FlowTable
+from repro.net.table import PacketTable
+
+
+class ValueType(enum.Enum):
+    """The type tag of one named value in the pipeline environment."""
+
+    PACKETS = "packets"  # a PacketTable
+    FLOWS = "flows"  # a FlowTable (grouped packets)
+    FEATURES = "features"  # 2-D float ndarray
+    LABELS = "labels"  # 1-D int ndarray
+    MODEL = "model"  # an (un)fitted estimator
+    PREDICTIONS = "predictions"  # 1-D int ndarray from a model
+    METRICS = "metrics"  # dict of metric name -> float
+    ANY = "any"  # escape hatch for custom operations
+
+
+def infer_type(value: object) -> ValueType:
+    """Best-effort runtime type tag used by the engine's checks."""
+    if isinstance(value, PacketTable):
+        return ValueType.PACKETS
+    if isinstance(value, FlowTable):
+        return ValueType.FLOWS
+    if isinstance(value, np.ndarray):
+        return ValueType.FEATURES if value.ndim == 2 else ValueType.LABELS
+    if isinstance(value, dict):
+        return ValueType.METRICS
+    if hasattr(value, "fit") or hasattr(value, "predict"):
+        return ValueType.MODEL
+    return ValueType.ANY
+
+
+def check_type(value: object, expected: ValueType, where: str) -> None:
+    """Raise ``TypeError`` if ``value`` does not match ``expected``."""
+    if expected is ValueType.ANY:
+        return
+    actual = infer_type(value)
+    if actual is expected:
+        return
+    # predictions and labels share a runtime representation
+    interchangeable = {ValueType.LABELS, ValueType.PREDICTIONS}
+    if expected in interchangeable and actual in interchangeable:
+        return
+    raise TypeError(
+        f"{where}: expected a {expected.value} value, got {actual.value}"
+    )

@@ -1,0 +1,106 @@
+"""Literature metadata behind Table 1 and Figure 1a.
+
+Table 1 of the paper surveys eleven published network-layer ML-based IoT
+anomaly-detection algorithms; Figure 1a counts, for each algorithm, how
+many other algorithms it can be *directly* compared with -- i.e. share
+at least one evaluation dataset.  The paper's headline observation is
+that for half the algorithms that count is zero.
+
+The entries below transcribe the paper's Table 1.  "Custom" datasets are
+modelled as unique per paper (suffixed with the algorithm key) because a
+private capture can never be shared with another paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LiteratureEntry:
+    """One row of the paper's Table 1."""
+
+    key: str
+    algorithm: str
+    ml_model: str
+    granularity: str
+    datasets: tuple[str, ...]
+    reported: str
+
+
+LITERATURE: list[LiteratureEntry] = [
+    LiteratureEntry(
+        "ml_ddos", "ML for DDoS [18]", "Ensemble of RF, SVM, DT and KNN",
+        "Packet", ("custom:ml_ddos",), "Precision: 99.9%",
+    ),
+    LiteratureEntry(
+        "ocsvm", "Efficient One-Class SVM [40]", "OCSVM and GMM",
+        "Packet", ("CTU IoT", "UNB IDS", "MAWI"), "AUC: 62 - 99%",
+    ),
+    LiteratureEntry(
+        "kitsune", "Kitsune [27]", "Stacked Auto-Encoders",
+        "Packet", ("custom:kitsune",), "Precision: 99%",
+    ),
+    LiteratureEntry(
+        "nprint", "Nprint [20]", "AutoML",
+        "Packet", ("CICIDS2017", "netML"), "Balanced Precision: 86-99%",
+    ),
+    LiteratureEntry(
+        "smartdet", "Smart Detect [24]", "Random Forest",
+        "Unidirectional Flow", ("CICIDS2017", "CIC-DoS"),
+        "Precision: 80 - 96.1%",
+    ),
+    LiteratureEntry(
+        "nokia", "Network Centric Anomaly Detection [15]", "Auto Encoder",
+        "Flow: srcIP, dstIP", ("custom:nokia",), "Precision: 99%",
+    ),
+    LiteratureEntry(
+        "iiot", "Industrial IoT [41]", "Random Forest",
+        "Connection", ("custom:iiot",), "Sensitivity: 97%",
+    ),
+    LiteratureEntry(
+        "smart_home", "Smart Home IDS [11]", "Random Forest",
+        "Packet", ("custom:smart_home",), "Precision: 97%",
+    ),
+    LiteratureEntry(
+        "ensemble", "Ensemble [30]", "NB, DT, RF and DNN",
+        "Unidirectional Flow", ("UNSW NB-15", "NIMS"),
+        "Precision: 98.29-99.54%",
+    ),
+    LiteratureEntry(
+        "bayesian", "Bayesian Traffic Classification [28]", "Bayes Classifier",
+        "Connection", ("custom:bayesian",), "Precision: 96.29%",
+    ),
+    LiteratureEntry(
+        "zeek", "Zeek Logs [13]", "RF",
+        "Connection", ("CTU IoT",), "Precision: 97%",
+    ),
+]
+
+
+def literature_table() -> list[dict[str, str]]:
+    """Table 1 as row dictionaries (for printing/benchmarks)."""
+    return [
+        {
+            "Algorithm": entry.algorithm,
+            "ML Model": entry.ml_model,
+            "Granularity": entry.granularity,
+            "Datasets": ", ".join(entry.datasets),
+            "Reported Performance": entry.reported,
+        }
+        for entry in LITERATURE
+    ]
+
+
+def comparability_counts() -> dict[str, int]:
+    """Figure 1a: per algorithm, how many peers share >= 1 dataset."""
+    counts: dict[str, int] = {}
+    for entry in LITERATURE:
+        shared = 0
+        for other in LITERATURE:
+            if other.key == entry.key:
+                continue
+            if set(entry.datasets) & set(other.datasets):
+                shared += 1
+        counts[entry.key] = shared
+    return counts

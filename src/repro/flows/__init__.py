@@ -1,0 +1,28 @@
+"""Flow assembly substrate (the Zeek replacement).
+
+Builds unidirectional flows, bidirectional connections and src/dst-pair
+aggregates out of a :class:`~repro.net.table.PacketTable`, carries labels
+across granularities, and encodes the paper's *faithfulness* rule --
+which algorithm granularities may be evaluated on which dataset
+granularities.
+"""
+
+from repro.flows.granularity import Granularity, can_evaluate, propagate_labels
+from repro.flows.records import FlowTable
+from repro.flows.assembly import (
+    assemble_connections,
+    assemble_flows,
+    assemble_pairs,
+    assemble_unidirectional,
+)
+
+__all__ = [
+    "Granularity",
+    "can_evaluate",
+    "propagate_labels",
+    "FlowTable",
+    "assemble_connections",
+    "assemble_flows",
+    "assemble_pairs",
+    "assemble_unidirectional",
+]

@@ -1,0 +1,75 @@
+"""Classification granularities and the faithfulness rule.
+
+The paper's central evaluation principle (S2.1, S3.3): an algorithm that
+classifies at granularity G can be *faithfully* trained/tested on a
+dataset labelled at granularity G or coarser, because a coarse label
+propagates unambiguously down to finer units (every packet of a
+malicious flow is labelled malicious).  The converse is not faithful: a
+connection-level algorithm cannot consume a packet-labelled dataset
+without rewriting ground truth, because one connection may contain both
+benign and malicious packets.
+
+The benchmarking suite additionally runs in *strict* mode by default,
+mirroring S5.1 ("connection-level classification algorithms are
+trained/tested against connection-level datasets and packet-level
+classification algorithms on packet-level datasets").
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class Granularity(enum.IntEnum):
+    """Classification granularity, ordered fine to coarse."""
+
+    PACKET = 0
+    UNI_FLOW = 1
+    CONNECTION = 2
+    PAIR = 3  # srcIP-dstIP aggregate (algorithm A11, "nokia")
+
+    @property
+    def is_flow_like(self) -> bool:
+        """Whether units are flow aggregates rather than single packets."""
+        return self is not Granularity.PACKET
+
+
+def can_evaluate(
+    algorithm: Granularity,
+    dataset: Granularity,
+    *,
+    strict: bool = True,
+) -> bool:
+    """Return whether an algorithm can faithfully run on a dataset.
+
+    In the general (non-strict) rule, the algorithm's granularity must be
+    at least as fine as the dataset's labels so labels propagate down.
+    In strict mode -- the paper's benchmark methodology -- packet
+    algorithms run only on packet datasets and flow-like algorithms only
+    on flow-like datasets, with the label-propagation rule still applied
+    inside the flow-like family (a connection-labelled dataset can train
+    a unidirectional-flow algorithm, not vice versa).
+    """
+    if strict and algorithm.is_flow_like != dataset.is_flow_like:
+        return False
+    return int(algorithm) <= int(dataset) or algorithm is dataset
+
+
+def propagate_labels(
+    unit_labels: np.ndarray, membership: np.ndarray
+) -> np.ndarray:
+    """Propagate coarse labels down to fine units.
+
+    ``membership[i]`` is the coarse-unit index of fine unit ``i`` (e.g.
+    the flow id of packet ``i``); the result assigns each fine unit its
+    coarse unit's label.  Units with membership ``-1`` (e.g. packets
+    belonging to no flow) are labelled benign (0).
+    """
+    unit_labels = np.asarray(unit_labels)
+    membership = np.asarray(membership)
+    out = np.zeros(len(membership), dtype=unit_labels.dtype)
+    valid = membership >= 0
+    out[valid] = unit_labels[membership[valid]]
+    return out

@@ -1,0 +1,58 @@
+"""Adapters between anomaly scorers and binary classifiers.
+
+Unsupervised detectors (OCSVM, GMM, autoencoders, KitNET) train on
+benign traffic only and emit scores; the benchmarking suite needs hard
+0/1 labels.  :class:`AnomalyThresholdClassifier` handles both halves:
+it filters the training set down to the benign rows and calibrates the
+decision threshold on a held-out benign slice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array, check_X_y, clone
+
+
+class AnomalyThresholdClassifier(BaseEstimator):
+    """Wrap an anomaly scorer into a supervised-looking classifier.
+
+    ``fit(X, y)`` trains the underlying detector on the benign rows only
+    (label 0); the threshold is the ``quantile``-th percentile of benign
+    training scores, i.e. a configured false-positive budget.
+    ``predict`` returns 1 where the score exceeds the threshold.
+    """
+
+    def __init__(self, detector: BaseEstimator, quantile: float = 0.98) -> None:
+        self.detector = detector
+        self.quantile = quantile
+
+    def fit(self, X, y) -> "AnomalyThresholdClassifier":
+        array, labels = check_X_y(X, y)
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        benign = array[labels == 0]
+        if len(benign) == 0:
+            raise ValueError(
+                "anomaly detectors need benign training rows (label 0)"
+            )
+        self.detector_ = clone(self.detector)
+        self.detector_.fit(benign)
+        scores = self.detector_.score_samples(benign)
+        self.threshold_ = float(np.quantile(scores, self.quantile))
+        self.classes_ = np.array([0, 1])
+        return self
+
+    def score_samples(self, X) -> np.ndarray:
+        self._check_fitted("detector_")
+        return self.detector_.score_samples(check_array(X, allow_empty=True))
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("detector_")
+        return (self.score_samples(X) > self.threshold_).astype(np.int64)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """A monotone squash of scores; useful only for ranking."""
+        scores = self.score_samples(X)
+        positive = 1.0 / (1.0 + np.exp(-(scores - self.threshold_)))
+        return np.column_stack([1.0 - positive, positive])

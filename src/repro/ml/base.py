@@ -1,0 +1,104 @@
+"""Estimator base class, cloning and input validation.
+
+All estimators follow the familiar fit/predict convention:
+
+* ``fit(X, y)`` (or ``fit(X)`` for unsupervised models) returns ``self``;
+* ``predict(X)`` returns a label array;
+* anomaly scorers additionally expose ``score_samples(X)`` where larger
+  means *more anomalous* (note: the opposite sign convention from
+  sklearn, chosen because every consumer here thresholds anomaly scores
+  upward).
+
+Constructor arguments are hyperparameters only and are stored verbatim,
+which makes :func:`clone` trivial and keeps grid search honest.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict/transform is called before fit."""
+
+
+class BaseEstimator:
+    """Base class providing parameter introspection and cloning."""
+
+    def get_params(self) -> dict[str, Any]:
+        """Return constructor hyperparameters by introspecting __init__."""
+        signature = inspect.signature(type(self).__init__)
+        names = [
+            name
+            for name, parameter in signature.parameters.items()
+            if name != "self"
+            and parameter.kind
+            not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+        ]
+        return {name: getattr(self, name) for name in names}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        valid = self.get_params()
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"{type(self).__name__} has no hyperparameter {name!r}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def _check_fitted(self, attribute: str) -> None:
+        if not hasattr(self, attribute):
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before use"
+            )
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return an unfitted copy with identical hyperparameters."""
+    params = {
+        name: copy.deepcopy(value) for name, value in estimator.get_params().items()
+    }
+    return type(estimator)(**params)
+
+
+def check_array(X: Any, *, allow_empty: bool = False) -> np.ndarray:
+    """Validate and convert a 2-D float feature matrix."""
+    array = np.asarray(X, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got ndim={array.ndim}")
+    if not allow_empty and array.shape[0] == 0:
+        raise ValueError("feature matrix has no rows")
+    if not np.isfinite(array).all():
+        raise ValueError("feature matrix contains NaN or infinity")
+    return array
+
+
+def check_X_y(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix and its aligned label vector."""
+    array = check_array(X)
+    labels = np.asarray(y)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a 1-D array")
+    if len(labels) != array.shape[0]:
+        raise ValueError(
+            f"X has {array.shape[0]} rows but y has {len(labels)} labels"
+        )
+    return array, labels
+
+
+def check_random_state(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Turn a seed (or generator) into a numpy Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

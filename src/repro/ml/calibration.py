@@ -1,0 +1,76 @@
+"""Operating-point selection for anomaly scores.
+
+Anomaly detectors emit scores; deployments need thresholds.  Instead of
+the fixed training-quantile default, these utilities pick the threshold
+that meets an explicit objective on held-out labelled data: a precision
+floor, a false-positive budget, or maximum F1.  An operator tuning a
+gateway (the paper's Section 2.2 persona) uses exactly these knobs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.metrics import precision_recall_curve
+
+
+def threshold_for_precision(
+    y_true, scores, *, min_precision: float
+) -> float | None:
+    """Lowest threshold whose precision meets the floor (maximising
+    recall subject to the precision constraint); ``None`` if no
+    threshold achieves it."""
+    if not 0.0 < min_precision <= 1.0:
+        raise ValueError("min_precision must be in (0, 1]")
+    precision, _, thresholds = precision_recall_curve(y_true, scores)
+    feasible = np.flatnonzero(precision >= min_precision)
+    if feasible.size == 0:
+        return None
+    # thresholds are descending; the largest feasible index = the
+    # lowest threshold still meeting the floor
+    return float(thresholds[feasible.max()])
+
+
+def threshold_for_fpr(y_true, scores, *, max_fpr: float) -> float:
+    """Lowest threshold whose false-positive rate stays within budget."""
+    if not 0.0 <= max_fpr < 1.0:
+        raise ValueError("max_fpr must be in [0, 1)")
+    true = np.asarray(y_true).ravel()
+    values = np.asarray(scores, dtype=np.float64).ravel()
+    negatives = values[true == 0]
+    if len(negatives) == 0:
+        raise ValueError("need negative samples to bound the FPR")
+    # flag anything above the (1 - max_fpr) quantile of negative scores
+    return float(np.quantile(negatives, 1.0 - max_fpr))
+
+
+def threshold_for_best_f1(y_true, scores) -> tuple[float, float]:
+    """The threshold maximising F1; returns ``(threshold, f1)``."""
+    precision, recall, thresholds = precision_recall_curve(y_true, scores)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        f1 = np.where(
+            precision + recall > 0,
+            2 * precision * recall / np.maximum(precision + recall, 1e-300),
+            0.0,
+        )
+    best = int(np.argmax(f1))
+    return float(thresholds[best]), float(f1[best])
+
+
+def apply_threshold(scores, threshold: float) -> np.ndarray:
+    """Binary decisions: 1 where the anomaly score exceeds threshold."""
+    return (np.asarray(scores, dtype=np.float64) > threshold).astype(np.int64)
+
+
+def recalibrate(classifier, X_val, y_val, *, min_precision: float) -> bool:
+    """Retune an AnomalyThresholdClassifier's threshold on validation
+    data to meet a precision floor.  Returns whether the floor was
+    achievable (the threshold is updated only when it is)."""
+    scores = classifier.score_samples(X_val)
+    threshold = threshold_for_precision(
+        y_val, scores, min_precision=min_precision
+    )
+    if threshold is None:
+        return False
+    classifier.threshold_ = threshold
+    return True

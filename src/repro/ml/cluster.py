@@ -1,0 +1,81 @@
+"""k-means clustering with k-means++ initialisation.
+
+Used to initialise the GMM and by the Kitsune feature mapper fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array, check_random_state
+
+
+class KMeans(BaseEstimator):
+    """Lloyd's algorithm with k-means++ seeding."""
+
+    def __init__(
+        self,
+        n_clusters: int = 4,
+        n_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int | None = 0,
+    ) -> None:
+        self.n_clusters = n_clusters
+        self.n_iter = n_iter
+        self.tol = tol
+        self.seed = seed
+
+    def _init_centers(self, array: np.ndarray, rng) -> np.ndarray:
+        n = len(array)
+        k = min(self.n_clusters, n)
+        centers = np.empty((k, array.shape[1]))
+        centers[0] = array[rng.integers(n)]
+        closest = ((array - centers[0]) ** 2).sum(axis=1)
+        for j in range(1, k):
+            total = closest.sum()
+            if total <= 0:
+                centers[j:] = centers[0]
+                break
+            probabilities = closest / total
+            centers[j] = array[rng.choice(n, p=probabilities)]
+            distance = ((array - centers[j]) ** 2).sum(axis=1)
+            closest = np.minimum(closest, distance)
+        return centers
+
+    def fit(self, X, y=None) -> "KMeans":
+        array = check_array(X)
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be positive")
+        rng = check_random_state(self.seed)
+        centers = self._init_centers(array, rng)
+        k = len(centers)
+        for _ in range(self.n_iter):
+            distances = ((array[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            assignments = np.argmin(distances, axis=1)
+            new_centers = centers.copy()
+            for j in range(k):
+                members = array[assignments == j]
+                if len(members):
+                    new_centers[j] = members.mean(axis=0)
+            shift = float(np.abs(new_centers - centers).max())
+            centers = new_centers
+            if shift < self.tol:
+                break
+        self.cluster_centers_ = centers
+        self.inertia_ = float(
+            (((array - centers[np.argmin(
+                ((array[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2), axis=1
+            )]) ** 2).sum())
+        )
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("cluster_centers_")
+        array = check_array(X, allow_empty=True)
+        distances = (
+            (array[:, None, :] - self.cluster_centers_[None, :, :]) ** 2
+        ).sum(axis=2)
+        return np.argmin(distances, axis=1)
+
+    def fit_predict(self, X) -> np.ndarray:
+        return self.fit(X).predict(X)

@@ -1,0 +1,82 @@
+"""Feature selection used by the AM-synthesis search.
+
+The paper's greedy search complements candidate pipelines with
+"ML techniques that typically improve the performance of classifiers,
+such as data normalization, removing correlated features, and autoML";
+the correlated-feature removal lives here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array
+
+
+class VarianceThreshold(BaseEstimator):
+    """Drop features whose variance is at or below ``threshold``.
+
+    If every feature would be dropped the transformer keeps them all:
+    an empty feature matrix is never a useful outcome for the search.
+    """
+
+    def __init__(self, threshold: float = 0.0) -> None:
+        self.threshold = threshold
+
+    def fit(self, X) -> "VarianceThreshold":
+        array = check_array(X)
+        variances = array.var(axis=0)
+        mask = variances > self.threshold
+        if not mask.any():
+            mask = np.ones(array.shape[1], dtype=bool)
+        self.mask_ = mask
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("mask_")
+        return check_array(X, allow_empty=True)[:, self.mask_]
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class CorrelatedFeatureRemover(BaseEstimator):
+    """Drop the later feature of every pair with |corr| above ``threshold``.
+
+    Constant features (undefined correlation) are treated as correlated
+    with everything and therefore dropped, except that -- as with
+    :class:`VarianceThreshold` -- at least one feature always survives.
+    """
+
+    def __init__(self, threshold: float = 0.95) -> None:
+        self.threshold = threshold
+
+    def fit(self, X) -> "CorrelatedFeatureRemover":
+        array = check_array(X)
+        n_features = array.shape[1]
+        stds = array.std(axis=0)
+        keep = np.ones(n_features, dtype=bool)
+        keep[stds == 0.0] = False
+        if keep.any():
+            with np.errstate(invalid="ignore", divide="ignore"):
+                corr = np.corrcoef(array, rowvar=False)
+            corr = np.atleast_2d(np.nan_to_num(corr))
+            for j in range(1, n_features):
+                if not keep[j]:
+                    continue
+                earlier = np.flatnonzero(keep[:j])
+                if earlier.size and np.any(
+                    np.abs(corr[j, earlier]) > self.threshold
+                ):
+                    keep[j] = False
+        if not keep.any():
+            keep[0] = True
+        self.mask_ = keep
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("mask_")
+        return check_array(X, allow_empty=True)[:, self.mask_]
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

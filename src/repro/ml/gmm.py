@@ -1,0 +1,143 @@
+"""Gaussian mixture model (EM, diagonal covariances) and the anomaly
+detector built on it (algorithm A08 pairs Nystrom features with a GMM
+density estimate of benign traffic)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array, check_random_state
+from repro.ml.cluster import KMeans
+from repro.ml.preprocessing import StandardScaler
+
+
+class GaussianMixture(BaseEstimator):
+    """Diagonal-covariance GMM fitted with EM, k-means initialised."""
+
+    def __init__(
+        self,
+        n_components: int = 4,
+        n_iter: int = 100,
+        tol: float = 1e-4,
+        reg_covar: float = 1e-6,
+        seed: int | None = 0,
+    ) -> None:
+        self.n_components = n_components
+        self.n_iter = n_iter
+        self.tol = tol
+        self.reg_covar = reg_covar
+        self.seed = seed
+
+    def fit(self, X, y=None) -> "GaussianMixture":
+        array = check_array(X)
+        n, d = array.shape
+        k = min(self.n_components, n)
+        kmeans = KMeans(n_clusters=k, seed=self.seed).fit(array)
+        assignments = kmeans.predict(array)
+        self.means_ = kmeans.cluster_centers_.copy()
+        self.covariances_ = np.empty((k, d))
+        self.weights_ = np.empty(k)
+        global_var = array.var(axis=0) + self.reg_covar
+        for j in range(k):
+            members = array[assignments == j]
+            self.weights_[j] = max(len(members), 1) / n
+            if len(members) > 1:
+                self.covariances_[j] = members.var(axis=0) + self.reg_covar
+            else:
+                self.covariances_[j] = global_var
+        self.weights_ /= self.weights_.sum()
+
+        previous = -np.inf
+        for _ in range(self.n_iter):
+            log_resp, log_likelihood = self._e_step(array)
+            self._m_step(array, log_resp)
+            if abs(log_likelihood - previous) < self.tol * max(abs(previous), 1.0):
+                break
+            previous = log_likelihood
+        self.converged_ = True
+        return self
+
+    def _log_prob_components(self, array: np.ndarray) -> np.ndarray:
+        """Log N(x | mu_j, diag(var_j)) + log w_j for every component."""
+        n = len(array)
+        k = len(self.weights_)
+        out = np.empty((n, k))
+        for j in range(k):
+            var = self.covariances_[j]
+            log_det = np.sum(np.log(2.0 * np.pi * var))
+            mahalanobis = np.sum((array - self.means_[j]) ** 2 / var, axis=1)
+            out[:, j] = np.log(self.weights_[j] + 1e-300) - 0.5 * (
+                log_det + mahalanobis
+            )
+        return out
+
+    def _e_step(self, array: np.ndarray) -> tuple[np.ndarray, float]:
+        weighted = self._log_prob_components(array)
+        max_log = weighted.max(axis=1, keepdims=True)
+        log_norm = max_log[:, 0] + np.log(
+            np.exp(weighted - max_log).sum(axis=1)
+        )
+        log_resp = weighted - log_norm[:, None]
+        return log_resp, float(log_norm.mean())
+
+    def _m_step(self, array: np.ndarray, log_resp: np.ndarray) -> None:
+        resp = np.exp(log_resp)
+        counts = resp.sum(axis=0) + 1e-10
+        self.weights_ = counts / counts.sum()
+        self.means_ = (resp.T @ array) / counts[:, None]
+        for j in range(len(counts)):
+            diff2 = (array - self.means_[j]) ** 2
+            self.covariances_[j] = (resp[:, j] @ diff2) / counts[j] + self.reg_covar
+
+    def score_samples(self, X) -> np.ndarray:
+        """Per-sample log-likelihood under the mixture."""
+        self._check_fitted("means_")
+        array = check_array(X, allow_empty=True)
+        weighted = self._log_prob_components(array)
+        max_log = weighted.max(axis=1, keepdims=True)
+        return max_log[:, 0] + np.log(np.exp(weighted - max_log).sum(axis=1))
+
+    def predict(self, X) -> np.ndarray:
+        """Most likely component index for each sample."""
+        self._check_fitted("means_")
+        array = check_array(X, allow_empty=True)
+        return np.argmax(self._log_prob_components(array), axis=1)
+
+
+class GMMAnomalyDetector(BaseEstimator):
+    """Density-threshold anomaly detector over a benign-traffic GMM.
+
+    Fit on (mostly benign) traffic; samples whose log-likelihood falls
+    below the ``quantile``-th training quantile are flagged anomalous.
+    ``score_samples`` is negated log-likelihood so larger = more
+    anomalous, matching the package-wide convention.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 4,
+        quantile: float = 0.02,
+        seed: int | None = 0,
+    ) -> None:
+        self.n_components = n_components
+        self.quantile = quantile
+        self.seed = seed
+
+    def fit(self, X, y=None) -> "GMMAnomalyDetector":
+        array = check_array(X)
+        self._scaler = StandardScaler().fit(array)
+        scaled = self._scaler.transform(array)
+        self._mixture = GaussianMixture(
+            n_components=self.n_components, seed=self.seed
+        ).fit(scaled)
+        train_scores = self._mixture.score_samples(scaled)
+        self.threshold_ = float(np.quantile(train_scores, self.quantile))
+        return self
+
+    def score_samples(self, X) -> np.ndarray:
+        self._check_fitted("_mixture")
+        scaled = self._scaler.transform(check_array(X, allow_empty=True))
+        return self.threshold_ - self._mixture.score_samples(scaled)
+
+    def predict(self, X) -> np.ndarray:
+        return (self.score_samples(X) > 0.0).astype(np.int64)

@@ -1,0 +1,112 @@
+"""RBF kernel and its two classic approximations.
+
+Algorithm A07 (Efficient One-Class SVM, Yang et al.) studies exactly this
+trade-off: the exact kernel OCSVM versus Nystrom-approximated features
+fed to cheap models (GMM, linear OCSVM) -- our A08/A09.  Both
+approximations are implemented here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array, check_random_state
+
+
+def rbf_kernel(X: np.ndarray, Y: np.ndarray, gamma: float) -> np.ndarray:
+    """Exact RBF (Gaussian) kernel matrix: exp(-gamma * ||x - y||^2)."""
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    Y = np.atleast_2d(np.asarray(Y, dtype=np.float64))
+    x_norms = (X**2).sum(axis=1)[:, None]
+    y_norms = (Y**2).sum(axis=1)[None, :]
+    squared = np.maximum(x_norms + y_norms - 2.0 * X @ Y.T, 0.0)
+    return np.exp(-gamma * squared)
+
+
+def median_heuristic_gamma(X: np.ndarray, *, max_samples: int = 500, seed: int = 0) -> float:
+    """The median pairwise-distance heuristic for choosing gamma."""
+    array = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    rng = check_random_state(seed)
+    if len(array) > max_samples:
+        array = array[rng.choice(len(array), max_samples, replace=False)]
+    diffs = array[:, None, :] - array[None, :, :]
+    squared = (diffs**2).sum(axis=-1)
+    median = float(np.median(squared[squared > 0])) if (squared > 0).any() else 1.0
+    return 1.0 / max(median, 1e-12)
+
+
+class RandomFourierFeatures(BaseEstimator):
+    """Rahimi-Recht random features approximating the RBF kernel.
+
+    ``transform(X) @ transform(Y).T`` converges to ``rbf_kernel(X, Y)``
+    as ``n_components`` grows.
+    """
+
+    def __init__(
+        self, n_components: int = 128, gamma: float | None = None, seed: int = 0
+    ) -> None:
+        self.n_components = n_components
+        self.gamma = gamma
+        self.seed = seed
+
+    def fit(self, X) -> "RandomFourierFeatures":
+        array = check_array(X)
+        gamma = self.gamma if self.gamma is not None else median_heuristic_gamma(array, seed=self.seed)
+        rng = check_random_state(self.seed)
+        self.gamma_ = gamma
+        self.weights_ = rng.normal(
+            scale=np.sqrt(2.0 * gamma), size=(array.shape[1], self.n_components)
+        )
+        self.offsets_ = rng.uniform(0.0, 2.0 * np.pi, size=self.n_components)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("weights_")
+        array = check_array(X, allow_empty=True)
+        projection = array @ self.weights_ + self.offsets_
+        return np.sqrt(2.0 / self.n_components) * np.cos(projection)
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class Nystroem(BaseEstimator):
+    """Nystrom low-rank approximation of the RBF kernel map.
+
+    Landmarks are sampled from the training data; the feature map is
+    ``K(x, landmarks) @ W^(-1/2)`` with ``W`` the landmark kernel matrix
+    (pseudo-inverted for numerical robustness).
+    """
+
+    def __init__(
+        self, n_components: int = 64, gamma: float | None = None, seed: int = 0
+    ) -> None:
+        self.n_components = n_components
+        self.gamma = gamma
+        self.seed = seed
+
+    def fit(self, X) -> "Nystroem":
+        array = check_array(X)
+        rng = check_random_state(self.seed)
+        n_landmarks = min(self.n_components, len(array))
+        indices = rng.choice(len(array), n_landmarks, replace=False)
+        self.landmarks_ = array[indices]
+        self.gamma_ = (
+            self.gamma
+            if self.gamma is not None
+            else median_heuristic_gamma(array, seed=self.seed)
+        )
+        landmark_kernel = rbf_kernel(self.landmarks_, self.landmarks_, self.gamma_)
+        eigenvalues, eigenvectors = np.linalg.eigh(landmark_kernel)
+        keep = eigenvalues > 1e-10
+        inv_sqrt = eigenvectors[:, keep] / np.sqrt(eigenvalues[keep])
+        self.normalization_ = inv_sqrt
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("landmarks_")
+        array = check_array(X, allow_empty=True)
+        return rbf_kernel(array, self.landmarks_, self.gamma_) @ self.normalization_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,166 @@
+"""Classification metrics.
+
+The paper's benchmarking suite reports precision and recall for every
+(algorithm, train set, test set) combination and AUC for the OCSVM
+validation; these are the numpy equivalents.  The positive class is the
+*malicious* label (1) everywhere, matching the paper's definitions:
+precision = "of the traffic flagged anomalous, how much really was", and
+recall = "of the anomalous traffic, how much was flagged".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_labels(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    true = np.asarray(y_true).ravel()
+    pred = np.asarray(y_pred).ravel()
+    if true.shape != pred.shape:
+        raise ValueError(
+            f"label arrays differ in length: {true.shape} vs {pred.shape}"
+        )
+    return true, pred
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """Return the 2x2 confusion matrix ``[[tn, fp], [fn, tp]]``."""
+    true, pred = _as_labels(y_true, y_pred)
+    tp = int(np.sum((true == 1) & (pred == 1)))
+    tn = int(np.sum((true == 0) & (pred == 0)))
+    fp = int(np.sum((true == 0) & (pred == 1)))
+    fn = int(np.sum((true == 1) & (pred == 0)))
+    return np.array([[tn, fp], [fn, tp]])
+
+
+def precision_score(y_true, y_pred, *, zero_division: float = 0.0) -> float:
+    """tp / (tp + fp); ``zero_division`` when nothing was predicted positive."""
+    matrix = confusion_matrix(y_true, y_pred)
+    tp, fp = matrix[1, 1], matrix[0, 1]
+    if tp + fp == 0:
+        return zero_division
+    return tp / (tp + fp)
+
+
+def recall_score(y_true, y_pred, *, zero_division: float = 0.0) -> float:
+    """tp / (tp + fn); ``zero_division`` when there are no positives."""
+    matrix = confusion_matrix(y_true, y_pred)
+    tp, fn = matrix[1, 1], matrix[1, 0]
+    if tp + fn == 0:
+        return zero_division
+    return tp / (tp + fn)
+
+
+def f1_score(y_true, y_pred) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(y_true, y_pred)
+    recall = recall_score(y_true, y_pred)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of correct predictions."""
+    true, pred = _as_labels(y_true, y_pred)
+    if len(true) == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float(np.mean(true == pred))
+
+
+def balanced_accuracy_score(y_true, y_pred) -> float:
+    """Mean of per-class recalls (the 'balanced precision' nPrint reports)."""
+    matrix = confusion_matrix(y_true, y_pred)
+    tn, fp = matrix[0]
+    fn, tp = matrix[1]
+    recalls = []
+    if tn + fp:
+        recalls.append(tn / (tn + fp))
+    if tp + fn:
+        recalls.append(tp / (tp + fn))
+    if not recalls:
+        raise ValueError("cannot compute balanced accuracy of zero samples")
+    return float(np.mean(recalls))
+
+
+def roc_auc_score(y_true, scores) -> float:
+    """Area under the ROC curve via the rank statistic (handles ties).
+
+    ``scores`` must be higher for samples more likely to be positive.
+    """
+    true = np.asarray(y_true).ravel()
+    values = np.asarray(scores, dtype=np.float64).ravel()
+    if true.shape != values.shape:
+        raise ValueError("labels and scores differ in length")
+    n_pos = int(np.sum(true == 1))
+    n_neg = int(np.sum(true == 0))
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC needs both classes present")
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(len(values), dtype=np.float64)
+    sorted_values = values[order]
+    # midranks for tied scores
+    i = 0
+    position = 1.0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        midrank = (position + position + (j - i)) / 2.0
+        ranks[order[i : j + 1]] = midrank
+        position += j - i + 1
+        i = j + 1
+    rank_sum = float(ranks[true == 1].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def roc_curve(y_true, scores) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC points (fpr, tpr, thresholds) at every distinct score cut.
+
+    Thresholds are descending; the curve starts at (0, 0) territory and
+    ends at (1, 1).
+    """
+    true = np.asarray(y_true).ravel().astype(np.int64)
+    values = np.asarray(scores, dtype=np.float64).ravel()
+    n_pos = int((true == 1).sum())
+    n_neg = int((true == 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC needs both classes present")
+    order = np.argsort(-values, kind="mergesort")
+    true_sorted = true[order]
+    values_sorted = values[order]
+    distinct = np.flatnonzero(np.diff(values_sorted))
+    boundaries = np.concatenate([distinct, [len(values_sorted) - 1]])
+    tps = np.cumsum(true_sorted)[boundaries]
+    fps = (boundaries + 1) - tps
+    return fps / n_neg, tps / n_pos, values_sorted[boundaries]
+
+
+def precision_recall_curve(
+    y_true, scores
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision/recall at every distinct score threshold (descending)."""
+    true = np.asarray(y_true).ravel().astype(np.int64)
+    values = np.asarray(scores, dtype=np.float64).ravel()
+    order = np.argsort(-values, kind="mergesort")
+    true_sorted = true[order]
+    values_sorted = values[order]
+    distinct = np.flatnonzero(np.diff(values_sorted)) if len(values_sorted) else np.array([], dtype=int)
+    boundaries = np.concatenate([distinct, [len(values_sorted) - 1]]) if len(values_sorted) else np.array([], dtype=int)
+    tps = np.cumsum(true_sorted)[boundaries]
+    fps = (boundaries + 1) - tps
+    total_pos = true.sum()
+    precision = np.where(tps + fps > 0, tps / np.maximum(tps + fps, 1), 0.0)
+    recall = tps / total_pos if total_pos else np.zeros_like(tps, dtype=float)
+    thresholds = values_sorted[boundaries]
+    return precision, recall, thresholds
+
+
+def classification_summary(y_true, y_pred) -> dict[str, float]:
+    """The metric bundle the benchmarking suite stores per evaluation."""
+    return {
+        "precision": precision_score(y_true, y_pred),
+        "recall": recall_score(y_true, y_pred),
+        "f1": f1_score(y_true, y_pred),
+        "accuracy": accuracy_score(y_true, y_pred),
+    }

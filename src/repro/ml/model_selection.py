@@ -1,0 +1,151 @@
+"""Train/test splitting, cross validation and grid search.
+
+The paper notes that "the performance of an algorithm can be heavily
+influenced by the choice of hyperparameters" and uses defaults when a
+paper left them unspecified; :class:`GridSearch` is the tool the AM
+synthesis and the AutoML model use to pick them when searching.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_random_state, check_X_y, clone
+from repro.ml.metrics import f1_score
+
+
+def stratified_split_indices(
+    y,
+    *,
+    test_size: float = 0.3,
+    stratify: bool = True,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (train_indices, test_indices) for a labelled split.
+
+    Stratified by default so rare attack classes appear on both sides,
+    which the benchmarking suite depends on for tiny datasets.
+    """
+    labels = np.asarray(y)
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    rng = check_random_state(seed)
+    n = len(labels)
+    test_mask = np.zeros(n, dtype=bool)
+    if stratify:
+        for value in np.unique(labels):
+            indices = np.flatnonzero(labels == value)
+            rng.shuffle(indices)
+            n_test = int(round(len(indices) * test_size))
+            if len(indices) > 1:
+                n_test = min(max(n_test, 1), len(indices) - 1)
+            test_mask[indices[:n_test]] = True
+    else:
+        indices = rng.permutation(n)
+        test_mask[indices[: int(round(n * test_size))]] = True
+    return np.flatnonzero(~test_mask), np.flatnonzero(test_mask)
+
+
+def train_test_split(
+    X,
+    y,
+    *,
+    test_size: float = 0.3,
+    stratify: bool = True,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split features/labels into train and test partitions."""
+    array, labels = check_X_y(X, y)
+    train_idx, test_idx = stratified_split_indices(
+        labels, test_size=test_size, stratify=stratify, seed=seed
+    )
+    return array[train_idx], array[test_idx], labels[train_idx], labels[test_idx]
+
+
+@dataclass
+class KFold:
+    """Deterministic k-fold splitter yielding (train_idx, test_idx)."""
+
+    n_splits: int = 5
+    shuffle: bool = True
+    seed: int = 0
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if self.n_splits < 2:
+            raise ValueError("need at least 2 folds")
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            check_random_state(self.seed).shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate(
+                [folds[j] for j in range(self.n_splits) if j != i]
+            )
+            yield train_idx, test_idx
+
+
+class GridSearch(BaseEstimator):
+    """Exhaustive hyperparameter search with k-fold cross validation.
+
+    ``param_grid`` maps hyperparameter names to candidate values.  The
+    scoring function defaults to F1 on the positive (malicious) class,
+    which is the balance the paper's precision/recall analysis needs.
+    After :meth:`fit`, ``best_estimator_`` is refitted on all data.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_grid: dict[str, Sequence],
+        *,
+        n_splits: int = 3,
+        scorer: Callable[[np.ndarray, np.ndarray], float] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.n_splits = n_splits
+        self.scorer = scorer
+        self.seed = seed
+
+    def _candidates(self) -> Iterator[dict]:
+        names = sorted(self.param_grid)
+        for values in itertools.product(*(self.param_grid[n] for n in names)):
+            yield dict(zip(names, values))
+
+    def fit(self, X, y) -> "GridSearch":
+        array, labels = check_X_y(X, y)
+        scorer = self.scorer or f1_score
+        folds = list(KFold(self.n_splits, seed=self.seed).split(len(labels)))
+        self.results_: list[tuple[dict, float]] = []
+        best_score, best_params = -np.inf, None
+        for params in self._candidates():
+            scores = []
+            for train_idx, test_idx in folds:
+                model = clone(self.estimator).set_params(**params)
+                model.fit(array[train_idx], labels[train_idx])
+                scores.append(scorer(labels[test_idx], model.predict(array[test_idx])))
+            mean_score = float(np.mean(scores))
+            self.results_.append((params, mean_score))
+            if mean_score > best_score:
+                best_score, best_params = mean_score, params
+        if best_params is None:
+            raise ValueError("empty parameter grid")
+        self.best_params_ = best_params
+        self.best_score_ = best_score
+        self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+        self.best_estimator_.fit(array, labels)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("best_estimator_")
+        return self.best_estimator_.predict(X)

@@ -1,0 +1,63 @@
+"""Gaussian naive Bayes.
+
+The Bayesian traffic-classification algorithm (A13, Moore & Zuev) feeds
+per-flow discriminators to a naive Bayes classifier; this is that model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array, check_X_y
+
+
+class GaussianNB(BaseEstimator):
+    """Naive Bayes with per-class Gaussian feature likelihoods.
+
+    ``var_smoothing`` adds a fraction of the largest feature variance to
+    every variance, exactly like sklearn, so constant features do not
+    produce degenerate likelihoods.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X, y) -> "GaussianNB":
+        array, labels = check_X_y(X, y)
+        self.classes_ = np.unique(labels)
+        n_classes = len(self.classes_)
+        n_features = array.shape[1]
+        self.theta_ = np.zeros((n_classes, n_features))
+        self.var_ = np.zeros((n_classes, n_features))
+        self.class_prior_ = np.zeros(n_classes)
+        for i, value in enumerate(self.classes_):
+            rows = array[labels == value]
+            self.theta_[i] = rows.mean(axis=0)
+            self.var_[i] = rows.var(axis=0)
+            self.class_prior_[i] = len(rows) / len(labels)
+        epsilon = self.var_smoothing * max(float(array.var(axis=0).max()), 1e-12)
+        self.var_ += epsilon
+        return self
+
+    def _joint_log_likelihood(self, array: np.ndarray) -> np.ndarray:
+        jll = np.zeros((len(array), len(self.classes_)))
+        for i in range(len(self.classes_)):
+            log_det = np.sum(np.log(2.0 * np.pi * self.var_[i]))
+            mahalanobis = np.sum(
+                (array - self.theta_[i]) ** 2 / self.var_[i], axis=1
+            )
+            jll[:, i] = np.log(self.class_prior_[i]) - 0.5 * (log_det + mahalanobis)
+        return jll
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("theta_")
+        array = check_array(X, allow_empty=True)
+        jll = self._joint_log_likelihood(array)
+        jll -= jll.max(axis=1, keepdims=True)
+        likelihood = np.exp(jll)
+        return likelihood / likelihood.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("theta_")
+        array = check_array(X, allow_empty=True)
+        return self.classes_[np.argmax(self._joint_log_likelihood(array), axis=1)]

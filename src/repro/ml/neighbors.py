@@ -1,0 +1,60 @@
+"""k-nearest-neighbours classifier (cKDTree-backed).
+
+Used as a member of the ML-DDoS voting ensemble (algorithm A00) and as a
+candidate family in the AutoML grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.ml.base import BaseEstimator, check_array, check_X_y
+
+
+class KNeighborsClassifier(BaseEstimator):
+    """Majority vote over the k nearest training samples.
+
+    ``weights`` is either ``"uniform"`` or ``"distance"`` (inverse
+    distance, with exact matches dominating).
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        array, labels = check_X_y(X, y)
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be positive")
+        if self.weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weights: {self.weights!r}")
+        self.classes_, self._encoded = np.unique(labels, return_inverse=True)
+        self._tree = cKDTree(array)
+        self._n_train = len(labels)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("_tree")
+        array = check_array(X, allow_empty=True)
+        k = min(self.n_neighbors, self._n_train)
+        distances, indices = self._tree.query(array, k=k)
+        if k == 1:
+            distances = distances[:, None]
+            indices = indices[:, None]
+        neighbor_labels = self._encoded[indices]
+        n_classes = len(self.classes_)
+        if self.weights == "distance":
+            # Exact matches get an effectively infinite weight.
+            weights = 1.0 / np.maximum(distances, 1e-12)
+        else:
+            weights = np.ones_like(distances)
+        out = np.zeros((len(array), n_classes))
+        for c in range(n_classes):
+            out[:, c] = np.where(neighbor_labels == c, weights, 0.0).sum(axis=1)
+        totals = out.sum(axis=1, keepdims=True)
+        return out / np.maximum(totals, 1e-300)
+
+    def predict(self, X) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]

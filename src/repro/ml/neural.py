@@ -1,0 +1,208 @@
+"""Feed-forward neural networks: an MLP classifier and an autoencoder.
+
+Implements dense networks with ReLU hidden layers trained by Adam on
+mini-batches -- enough machinery for every neural model in the surveyed
+papers (the Ensemble DNN, the Nokia and early-detection autoencoders,
+and the small autoencoders inside Kitsune).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array, check_random_state, check_X_y
+from repro.ml.preprocessing import MinMaxScaler
+
+
+class _Dense:
+    """One dense layer with its Adam state."""
+
+    def __init__(self, n_in: int, n_out: int, rng: np.random.Generator) -> None:
+        limit = np.sqrt(6.0 / (n_in + n_out))
+        self.W = rng.uniform(-limit, limit, size=(n_in, n_out))
+        self.b = np.zeros(n_out)
+        self._m = [np.zeros_like(self.W), np.zeros_like(self.b)]
+        self._v = [np.zeros_like(self.W), np.zeros_like(self.b)]
+        self._t = 0
+
+    def forward(self, X: np.ndarray) -> np.ndarray:
+        self._input = X
+        return X @ self.W + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        self._grad_W = self._input.T @ grad_out / len(grad_out)
+        self._grad_b = grad_out.mean(axis=0)
+        return grad_out @ self.W.T
+
+    def step(self, learning_rate: float, beta1=0.9, beta2=0.999, eps=1e-8) -> None:
+        self._t += 1
+        for params, grad, m, v in (
+            (self.W, self._grad_W, self._m[0], self._v[0]),
+            (self.b, self._grad_b, self._m[1], self._v[1]),
+        ):
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad**2
+            m_hat = m / (1 - beta1**self._t)
+            v_hat = v / (1 - beta2**self._t)
+            params -= learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+
+
+class _Network:
+    """A stack of dense layers with ReLU between them."""
+
+    def __init__(self, sizes: list[int], rng: np.random.Generator) -> None:
+        self.layers = [
+            _Dense(sizes[i], sizes[i + 1], rng) for i in range(len(sizes) - 1)
+        ]
+
+    def forward(self, X: np.ndarray) -> np.ndarray:
+        self._pre_activations = []
+        out = X
+        for i, layer in enumerate(self.layers):
+            out = layer.forward(out)
+            self._pre_activations.append(out)
+            if i < len(self.layers) - 1:
+                out = _relu(out)
+        return out
+
+    def backward(self, grad: np.ndarray) -> None:
+        for i in reversed(range(len(self.layers))):
+            if i < len(self.layers) - 1:
+                grad = grad * (self._pre_activations[i] > 0)
+            grad = self.layers[i].backward(grad)
+
+    def step(self, learning_rate: float) -> None:
+        for layer in self.layers:
+            layer.step(learning_rate)
+
+
+class MLPClassifier(BaseEstimator):
+    """Multi-layer perceptron classifier (softmax + cross-entropy)."""
+
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (32, 16),
+        learning_rate: float = 1e-3,
+        n_epochs: int = 60,
+        batch_size: int = 64,
+        seed: int | None = 0,
+    ) -> None:
+        self.hidden_sizes = hidden_sizes
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def fit(self, X, y) -> "MLPClassifier":
+        array, labels = check_X_y(X, y)
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        n_classes = len(self.classes_)
+        self._scaler = MinMaxScaler().fit(array)
+        scaled = self._scaler.transform(array)
+        rng = check_random_state(self.seed)
+        sizes = [array.shape[1], *self.hidden_sizes, n_classes]
+        self._net = _Network(sizes, rng)
+        one_hot = np.zeros((len(encoded), n_classes))
+        one_hot[np.arange(len(encoded)), encoded] = 1.0
+        n = len(scaled)
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                logits = self._net.forward(scaled[batch])
+                logits -= logits.max(axis=1, keepdims=True)
+                exp = np.exp(logits)
+                softmax = exp / exp.sum(axis=1, keepdims=True)
+                self._net.backward(softmax - one_hot[batch])
+                self._net.step(self.learning_rate)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("_net")
+        scaled = self._scaler.transform(check_array(X, allow_empty=True))
+        logits = self._net.forward(scaled)
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+
+class Autoencoder(BaseEstimator):
+    """Symmetric autoencoder scored by reconstruction RMSE.
+
+    Fit on (mostly benign) traffic; anomalies reconstruct poorly.  The
+    hidden bottleneck defaults to ``ceil(0.5 * d)`` with a further
+    compression layer, matching the "3/4, 1/2" rule of thumb the
+    autoencoder IDS papers use.  Inputs are min-max normalised with
+    clipping so test-time outliers cannot blow up the loss.
+    """
+
+    def __init__(
+        self,
+        hidden_ratio: float = 0.5,
+        learning_rate: float = 1e-3,
+        n_epochs: int = 80,
+        batch_size: int = 64,
+        seed: int | None = 0,
+    ) -> None:
+        self.hidden_ratio = hidden_ratio
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def fit(self, X, y=None) -> "Autoencoder":
+        array = check_array(X)
+        self._scaler = MinMaxScaler(clip=True).fit(array)
+        scaled = self._scaler.transform(array)
+        rng = check_random_state(self.seed)
+        d = array.shape[1]
+        bottleneck = max(1, int(np.ceil(d * self.hidden_ratio)))
+        mid = max(bottleneck, int(np.ceil(d * 0.75)))
+        sizes = [d, mid, bottleneck, mid, d] if d > 2 else [d, bottleneck, d]
+        self._net = _Network(sizes, rng)
+        n = len(scaled)
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = scaled[order[start : start + self.batch_size]]
+                output = _sigmoid(self._net.forward(batch))
+                grad = (output - batch) * output * (1.0 - output)
+                self._net.backward(grad)
+                self._net.step(self.learning_rate)
+        train_scores = self._rmse(scaled)
+        self.threshold_ = float(np.quantile(train_scores, 0.98))
+        return self
+
+    def _rmse(self, scaled: np.ndarray) -> np.ndarray:
+        reconstructed = _sigmoid(self._net.forward(scaled))
+        return np.sqrt(((reconstructed - scaled) ** 2).mean(axis=1))
+
+    def reconstruct(self, X) -> np.ndarray:
+        """Reconstructions in the original feature space."""
+        self._check_fitted("_net")
+        scaled = self._scaler.transform(check_array(X, allow_empty=True))
+        reconstructed = _sigmoid(self._net.forward(scaled))
+        return reconstructed * self._scaler.span_ + self._scaler.min_
+
+    def score_samples(self, X) -> np.ndarray:
+        """Reconstruction RMSE; larger means more anomalous."""
+        self._check_fitted("_net")
+        scaled = self._scaler.transform(check_array(X, allow_empty=True))
+        return self._rmse(scaled)
+
+    def predict(self, X) -> np.ndarray:
+        """1 = anomalous (RMSE above the 98th training percentile)."""
+        return (self.score_samples(X) > self.threshold_).astype(np.int64)

@@ -1,0 +1,65 @@
+"""A transform stack + estimator composed as one model.
+
+Preprocessing that must be fitted (scalers, decorrelation, PCA) belongs
+*inside* the model, not inside feature extraction: fitting it on the
+whole dataset would leak test-set statistics into training, and in
+cross-dataset evaluation it would silently re-fit on the test dataset.
+:class:`TransformedClassifier` fits every transform on the training
+split only and replays them at prediction time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array, clone
+
+
+class TransformedClassifier(BaseEstimator):
+    """``transforms`` are fit in order on training data; the estimator
+    sees the fully transformed matrix.  Exposes ``score_samples`` when
+    the wrapped estimator does."""
+
+    def __init__(self, transforms: list[BaseEstimator], estimator: BaseEstimator) -> None:
+        self.transforms = transforms
+        self.estimator = estimator
+
+    def fit(self, X, y=None) -> "TransformedClassifier":
+        array = check_array(X)
+        self.transforms_ = []
+        for transform in self.transforms:
+            fitted = clone(transform)
+            # transforms are unsupervised: fit on X only
+            array = fitted.fit(array).transform(array)
+            self.transforms_.append(fitted)
+        self.estimator_ = clone(self.estimator)
+        if y is None:
+            self.estimator_.fit(array)
+        else:
+            self.estimator_.fit(array, y)
+        if hasattr(self.estimator_, "classes_"):
+            self.classes_ = self.estimator_.classes_
+        return self
+
+    def _apply(self, X) -> np.ndarray:
+        self._check_fitted("estimator_")
+        array = check_array(X, allow_empty=True)
+        for transform in self.transforms_:
+            array = transform.transform(array)
+        return array
+
+    def predict(self, X) -> np.ndarray:
+        transformed = self._apply(X)  # raises NotFittedError first
+        return self.estimator_.predict(transformed)
+
+    def predict_proba(self, X) -> np.ndarray:
+        transformed = self._apply(X)
+        if not hasattr(self.estimator_, "predict_proba"):
+            raise AttributeError("wrapped estimator has no predict_proba")
+        return self.estimator_.predict_proba(transformed)
+
+    def score_samples(self, X) -> np.ndarray:
+        transformed = self._apply(X)
+        if not hasattr(self.estimator_, "score_samples"):
+            raise AttributeError("wrapped estimator has no score_samples")
+        return self.estimator_.score_samples(transformed)

@@ -1,0 +1,101 @@
+"""Feature scaling and dimensionality reduction.
+
+The Lumen "Normalize" operation and the AM-synthesis search step both use
+these transformers; they mirror the sklearn semantics closely enough that
+pipelines written against the paper's descriptions port over directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array
+
+
+class StandardScaler(BaseEstimator):
+    """Zero-mean unit-variance scaling; constant features map to zero."""
+
+    def __init__(self) -> None:
+        pass
+
+    def fit(self, X) -> "StandardScaler":
+        array = check_array(X)
+        self.mean_ = array.mean(axis=0)
+        scale = array.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("mean_")
+        array = check_array(X, allow_empty=True)
+        return (array - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self._check_fitted("mean_")
+        return check_array(X, allow_empty=True) * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features into [0, 1]; values outside the fit range clip only
+    if ``clip`` is set (the Kitsune incremental normaliser wants clipping,
+    the plain Normalize operation does not)."""
+
+    def __init__(self, clip: bool = False) -> None:
+        self.clip = clip
+
+    def fit(self, X) -> "MinMaxScaler":
+        array = check_array(X)
+        self.min_ = array.min(axis=0)
+        span = array.max(axis=0) - self.min_
+        span[span == 0.0] = 1.0
+        self.span_ = span
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("min_")
+        array = check_array(X, allow_empty=True)
+        scaled = (array - self.min_) / self.span_
+        if self.clip:
+            scaled = np.clip(scaled, 0.0, 1.0)
+        return scaled
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class PCA(BaseEstimator):
+    """Principal component analysis via SVD on centred data."""
+
+    def __init__(self, n_components: int = 2) -> None:
+        self.n_components = n_components
+
+    def fit(self, X) -> "PCA":
+        array = check_array(X)
+        n_components = min(self.n_components, min(array.shape))
+        self.mean_ = array.mean(axis=0)
+        centred = array - self.mean_
+        _, singular, vt = np.linalg.svd(centred, full_matrices=False)
+        self.components_ = vt[:n_components]
+        denominator = max(array.shape[0] - 1, 1)
+        variances = (singular**2) / denominator
+        total = variances.sum()
+        self.explained_variance_ratio_ = (
+            variances[:n_components] / total if total > 0 else variances[:n_components]
+        )
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("components_")
+        array = check_array(X, allow_empty=True)
+        return (array - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self._check_fitted("components_")
+        return np.asarray(X, dtype=np.float64) @ self.components_ + self.mean_

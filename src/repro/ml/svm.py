@@ -1,0 +1,139 @@
+"""One-class SVMs for unsupervised anomaly detection.
+
+:class:`LinearOCSVM` solves the primal one-class SVM objective with SGD:
+
+    min_w,rho  1/2 ||w||^2 - rho + 1/(nu * n) sum_i max(0, rho - w.x_i)
+
+Training data is assumed (mostly) benign; at test time the anomaly score
+is ``rho - w.x`` -- positive scores fall outside the learned half-space.
+
+:class:`KernelOCSVM` composes random Fourier features with the linear
+machine, approximating the RBF-kernel OCSVM that algorithm A07 uses.
+The exact QP solution is intentionally not implemented: the whole point
+of the "Efficient One-Class SVM" paper (and of A08/A09) is that the
+approximate versions behave comparably at a fraction of the cost, and
+at benchmark scale the approximation error is far below the
+dataset-to-dataset variance the evaluation studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array, check_random_state
+from repro.ml.kernels import RandomFourierFeatures
+from repro.ml.preprocessing import StandardScaler
+
+
+class LinearOCSVM(BaseEstimator):
+    """Primal one-class SVM trained with mini-batch SGD.
+
+    ``nu`` upper-bounds the fraction of training outliers (and
+    lower-bounds the fraction of support vectors), as in the classic
+    Scholkopf formulation.
+    """
+
+    def __init__(
+        self,
+        nu: float = 0.05,
+        learning_rate: float = 0.05,
+        n_epochs: int = 60,
+        batch_size: int = 128,
+        standardize: bool = True,
+        seed: int | None = 0,
+    ) -> None:
+        self.nu = nu
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.standardize = standardize
+        self.seed = seed
+
+    def fit(self, X, y=None) -> "LinearOCSVM":
+        if not 0.0 < self.nu <= 1.0:
+            raise ValueError(f"nu must be in (0, 1], got {self.nu}")
+        array = check_array(X)
+        # Standardisation is correct for raw features but must be OFF when
+        # the input is already a kernel feature map: the one-class margin
+        # is measured from the origin, and re-centring the data at the
+        # origin would erase exactly the structure the machine separates.
+        self._scaler = StandardScaler().fit(array) if self.standardize else None
+        scaled = self._scaler.transform(array) if self._scaler else array
+        rng = check_random_state(self.seed)
+        n, d = scaled.shape
+        self.coef_ = rng.normal(scale=0.01, size=d)
+        self.rho_ = 0.0
+        inv_nu = 1.0 / self.nu
+        for epoch in range(self.n_epochs):
+            rate = self.learning_rate / (1.0 + 0.1 * epoch)
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = scaled[order[start : start + self.batch_size]]
+                margins = batch @ self.coef_
+                active = margins < self.rho_
+                frac_active = float(active.mean())
+                grad_w = self.coef_.copy()
+                if active.any():
+                    grad_w -= inv_nu * batch[active].sum(axis=0) / len(batch)
+                grad_rho = -1.0 + inv_nu * frac_active
+                self.coef_ -= rate * grad_w
+                self.rho_ -= rate * grad_rho
+        # Calibrate rho so exactly nu of the training data is flagged,
+        # which stabilises the decision threshold across runs.
+        margins = scaled @ self.coef_
+        self.rho_ = float(np.quantile(margins, self.nu))
+        return self
+
+    def score_samples(self, X) -> np.ndarray:
+        """Anomaly scores; larger means more anomalous."""
+        self._check_fitted("coef_")
+        array = check_array(X, allow_empty=True)
+        scaled = self._scaler.transform(array) if self._scaler else array
+        return self.rho_ - scaled @ self.coef_
+
+    def predict(self, X) -> np.ndarray:
+        """1 = anomalous (outside the half-space), 0 = benign."""
+        return (self.score_samples(X) > 0.0).astype(np.int64)
+
+
+class KernelOCSVM(BaseEstimator):
+    """RBF-kernel one-class SVM via random Fourier features.
+
+    This is algorithm A07's model: lift inputs with an (approximate) RBF
+    feature map, then run the linear one-class machine in that space.
+    """
+
+    def __init__(
+        self,
+        nu: float = 0.05,
+        gamma: float | None = None,
+        n_components: int = 128,
+        n_epochs: int = 60,
+        seed: int | None = 0,
+    ) -> None:
+        self.nu = nu
+        self.gamma = gamma
+        self.n_components = n_components
+        self.n_epochs = n_epochs
+        self.seed = seed
+
+    def fit(self, X, y=None) -> "KernelOCSVM":
+        array = check_array(X)
+        self._scaler = StandardScaler().fit(array)
+        scaled = self._scaler.transform(array)
+        self._features = RandomFourierFeatures(
+            n_components=self.n_components, gamma=self.gamma, seed=self.seed or 0
+        ).fit(scaled)
+        lifted = self._features.transform(scaled)
+        self._machine = LinearOCSVM(
+            nu=self.nu, n_epochs=self.n_epochs, standardize=False, seed=self.seed
+        ).fit(lifted)
+        return self
+
+    def score_samples(self, X) -> np.ndarray:
+        self._check_fitted("_machine")
+        scaled = self._scaler.transform(check_array(X, allow_empty=True))
+        return self._machine.score_samples(self._features.transform(scaled))
+
+    def predict(self, X) -> np.ndarray:
+        return (self.score_samples(X) > 0.0).astype(np.int64)

@@ -1,0 +1,70 @@
+"""Network substrate: packet model, header codecs, pcap I/O.
+
+This package replaces the pcap tooling (pypacker, Zeek's packet layer) the
+paper builds on.  It provides:
+
+* :mod:`repro.net.addresses` -- IPv4/MAC address conversion helpers.
+* :mod:`repro.net.headers` -- binary encode/decode for Ethernet, IPv4,
+  IPv6, TCP, UDP, ICMP, ARP and 802.11 headers.
+* :mod:`repro.net.packet` -- the :class:`Packet` object model and layer
+  stacking/parsing.
+* :mod:`repro.net.table` -- :class:`PacketTable`, a columnar (numpy)
+  representation of a trace that all Lumen operations consume.
+* :mod:`repro.net.pcap` -- classic libpcap file reader/writer.
+* :mod:`repro.net.payloads` -- small application-layer payload builders
+  (DNS, HTTP, MQTT, Telnet) used by the traffic generators.
+"""
+
+from repro.net.addresses import (
+    ip_to_int,
+    int_to_ip,
+    mac_to_int,
+    int_to_mac,
+    in_prefix,
+    random_ip_in_prefix,
+)
+from repro.net.checksum import internet_checksum
+from repro.net.headers import (
+    EthernetHeader,
+    IPv4Header,
+    IPv6Header,
+    TCPHeader,
+    UDPHeader,
+    ICMPHeader,
+    ARPHeader,
+    Dot11Header,
+    TCPFlags,
+)
+from repro.net.packet import Packet, LinkType
+from repro.net.table import PacketTable, PACKET_COLUMNS
+from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.net.inspect import describe_trace, render_description
+
+__all__ = [
+    "ip_to_int",
+    "int_to_ip",
+    "mac_to_int",
+    "int_to_mac",
+    "in_prefix",
+    "random_ip_in_prefix",
+    "internet_checksum",
+    "EthernetHeader",
+    "IPv4Header",
+    "IPv6Header",
+    "TCPHeader",
+    "UDPHeader",
+    "ICMPHeader",
+    "ARPHeader",
+    "Dot11Header",
+    "TCPFlags",
+    "Packet",
+    "LinkType",
+    "PacketTable",
+    "PACKET_COLUMNS",
+    "PcapReader",
+    "PcapWriter",
+    "read_pcap",
+    "write_pcap",
+    "describe_trace",
+    "render_description",
+]

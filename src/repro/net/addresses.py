@@ -1,0 +1,99 @@
+"""IPv4 and MAC address helpers.
+
+Addresses are stored as integers throughout the framework (a
+:class:`~repro.net.table.PacketTable` keeps them in ``uint32``/``uint64``
+columns), so these helpers convert between the integer form and the usual
+dotted/colon-separated text form and implement prefix arithmetic.
+"""
+
+from __future__ import annotations
+
+import re
+
+_IPV4_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}[:\-]){5}[0-9a-fA-F]{2}$")
+
+MAX_IPV4 = 0xFFFFFFFF
+MAX_MAC = 0xFFFFFFFFFFFF
+
+
+def ip_to_int(address: str) -> int:
+    """Convert a dotted-quad IPv4 address to its 32-bit integer value.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    match = _IPV4_RE.match(address)
+    if not match:
+        raise ValueError(f"not a valid IPv4 address: {address!r}")
+    octets = [int(part) for part in match.groups()]
+    if any(octet > 255 for octet in octets):
+        raise ValueError(f"octet out of range in IPv4 address: {address!r}")
+    return (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to dotted-quad IPv4 text form.
+
+    >>> int_to_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= MAX_IPV4:
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def mac_to_int(address: str) -> int:
+    """Convert a colon- or dash-separated MAC address to a 48-bit integer."""
+    if not _MAC_RE.match(address):
+        raise ValueError(f"not a valid MAC address: {address!r}")
+    return int(address.replace("-", ":").replace(":", ""), 16)
+
+
+def int_to_mac(value: int) -> str:
+    """Convert a 48-bit integer to colon-separated MAC text form."""
+    if not 0 <= value <= MAX_MAC:
+        raise ValueError(f"MAC integer out of range: {value}")
+    raw = f"{value:012x}"
+    return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+
+def prefix_to_range(prefix: str) -> tuple[int, int]:
+    """Return the inclusive ``(low, high)`` integer range of a CIDR prefix.
+
+    >>> prefix_to_range("10.0.0.0/30")
+    (167772160, 167772163)
+    """
+    try:
+        base_text, length_text = prefix.split("/")
+        length = int(length_text)
+    except ValueError as exc:
+        raise ValueError(f"not a valid CIDR prefix: {prefix!r}") from exc
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length out of range: {prefix!r}")
+    base = ip_to_int(base_text)
+    mask = (MAX_IPV4 << (32 - length)) & MAX_IPV4 if length else 0
+    low = base & mask
+    high = low | (MAX_IPV4 ^ mask)
+    return low, high
+
+
+def in_prefix(address: int | str, prefix: str) -> bool:
+    """Return whether an address (int or text) falls inside a CIDR prefix."""
+    value = ip_to_int(address) if isinstance(address, str) else address
+    low, high = prefix_to_range(prefix)
+    return low <= value <= high
+
+
+def random_ip_in_prefix(rng, prefix: str) -> int:
+    """Draw a uniformly random host address (integer) from a CIDR prefix.
+
+    The network and broadcast addresses are excluded when the prefix is
+    shorter than /31, matching how hosts are numbered in practice.
+    """
+    low, high = prefix_to_range(prefix)
+    if high - low >= 3:
+        low, high = low + 1, high - 1
+    return int(rng.integers(low, high + 1))

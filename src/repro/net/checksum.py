@@ -1,0 +1,42 @@
+"""The Internet checksum (RFC 1071) used by IPv4, ICMP, TCP and UDP."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement checksum over ``data``.
+
+    Odd-length input is zero-padded on the right, per RFC 1071.  The
+    return value is the checksum field value (already complemented).
+    """
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    # Fold carries until the sum fits in 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def tcp_udp_pseudo_header(
+    src_ip: int, dst_ip: int, protocol: int, length: int
+) -> bytes:
+    """Build the IPv4 pseudo-header used in TCP/UDP checksum computation."""
+    return bytes(
+        [
+            (src_ip >> 24) & 0xFF,
+            (src_ip >> 16) & 0xFF,
+            (src_ip >> 8) & 0xFF,
+            src_ip & 0xFF,
+            (dst_ip >> 24) & 0xFF,
+            (dst_ip >> 16) & 0xFF,
+            (dst_ip >> 8) & 0xFF,
+            dst_ip & 0xFF,
+            0,
+            protocol & 0xFF,
+            (length >> 8) & 0xFF,
+            length & 0xFF,
+        ]
+    )

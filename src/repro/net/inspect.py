@@ -1,0 +1,136 @@
+"""Trace analytics: the profile an operator reads before modelling.
+
+``describe_trace`` summarises a capture the way the paper's dataset
+descriptions do -- volume, protocol mix, talkers, port concentration,
+label composition -- and ``render_description`` prints it.  Used by
+``python -m repro inspect <dataset>`` and handy when validating a
+custom scenario against the capture it is meant to imitate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.addresses import int_to_ip
+from repro.net.table import PacketTable
+
+
+@dataclass
+class TraceDescription:
+    """A structured summary of one capture."""
+
+    n_packets: int
+    duration_s: float
+    packets_per_second: float
+    total_bytes: int
+    protocol_mix: dict[str, float]
+    top_talkers: list[tuple[str, int]]
+    top_ports: list[tuple[int, int]]
+    label_fraction: float
+    attacks: dict[str, int]
+    n_hosts: int
+    mean_packet_size: float
+
+
+_PROTO_NAMES = {1: "icmp", 6: "tcp", 17: "udp"}
+
+
+def describe_trace(table: PacketTable, *, top: int = 5) -> TraceDescription:
+    """Compute the summary; cheap (pure column arithmetic)."""
+    n = len(table)
+    if n == 0:
+        return TraceDescription(
+            n_packets=0, duration_s=0.0, packets_per_second=0.0,
+            total_bytes=0, protocol_mix={}, top_talkers=[], top_ports=[],
+            label_fraction=0.0, attacks={}, n_hosts=0, mean_packet_size=0.0,
+        )
+    duration = table.duration
+    mix: dict[str, float] = {}
+    is_ip = table.l3 != 0
+    for number, name in _PROTO_NAMES.items():
+        fraction = float(np.mean(is_ip & (table.proto == number)))
+        if fraction > 0:
+            mix[name] = fraction
+    non_ip = float(np.mean(~is_ip))
+    if non_ip > 0:
+        mix["non_ip"] = non_ip
+
+    sources = table.src_ip[is_ip]
+    talker_values, talker_counts = (
+        np.unique(sources, return_counts=True) if len(sources) else
+        (np.array([], dtype=np.uint32), np.array([], dtype=np.int64))
+    )
+    order = np.argsort(-talker_counts)[:top]
+    top_talkers = [
+        (int_to_ip(int(talker_values[i])), int(talker_counts[i]))
+        for i in order
+    ]
+
+    ports = table.dst_port[table.dst_port > 0]
+    port_values, port_counts = (
+        np.unique(ports, return_counts=True) if len(ports) else
+        (np.array([], dtype=np.uint16), np.array([], dtype=np.int64))
+    )
+    order = np.argsort(-port_counts)[:top]
+    top_ports = [
+        (int(port_values[i]), int(port_counts[i])) for i in order
+    ]
+
+    attack_counts: dict[str, int] = {}
+    for attack_id, name in enumerate(table.attacks):
+        count = int(np.sum(table.attack_id == attack_id))
+        if count:
+            attack_counts[name] = count
+
+    hosts = set(np.unique(sources).tolist())
+    hosts |= set(np.unique(table.dst_ip[is_ip]).tolist())
+    return TraceDescription(
+        n_packets=n,
+        duration_s=round(duration, 3),
+        packets_per_second=round(n / max(duration, 1e-9), 2),
+        total_bytes=int(table.length.sum()),
+        protocol_mix={k: round(v, 4) for k, v in mix.items()},
+        top_talkers=top_talkers,
+        top_ports=top_ports,
+        label_fraction=round(float(table.label.mean()), 4),
+        attacks=attack_counts,
+        n_hosts=len(hosts),
+        mean_packet_size=round(float(table.length.mean()), 1),
+    )
+
+
+def render_description(description: TraceDescription) -> str:
+    """A compact operator-facing text block."""
+    lines = [
+        f"packets        : {description.n_packets:,} over "
+        f"{description.duration_s:.0f}s "
+        f"({description.packets_per_second:,.0f} pkt/s)",
+        f"volume         : {description.total_bytes / 1_000_000:.1f} MB, "
+        f"mean packet {description.mean_packet_size:.0f} B",
+        f"hosts          : {description.n_hosts}",
+        "protocol mix   : "
+        + ", ".join(
+            f"{name} {fraction:.0%}"
+            for name, fraction in sorted(
+                description.protocol_mix.items(), key=lambda kv: -kv[1]
+            )
+        ),
+        "top talkers    : "
+        + ", ".join(f"{ip} ({count})" for ip, count in description.top_talkers),
+        "top dst ports  : "
+        + ", ".join(f"{port} ({count})" for port, count in description.top_ports),
+        f"malicious      : {description.label_fraction:.1%}"
+        + (
+            " — " + ", ".join(
+                f"{name} ({count})"
+                for name, count in sorted(
+                    description.attacks.items(), key=lambda kv: -kv[1]
+                )
+            )
+            if description.attacks
+            else ""
+        ),
+    ]
+    return "\n".join(lines)

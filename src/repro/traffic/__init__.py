@@ -1,0 +1,29 @@
+"""Synthetic IoT traffic generation.
+
+Stands in for the paper's 15 public datasets (CICIDS 2017/2019, CTU-IoT,
+Kitsune, IEEE IoT, AWID3), which we cannot redistribute.  Seeded
+generators model benign IoT/enterprise device behaviour
+(:mod:`repro.traffic.devices`) and inject labelled attack traffic
+(:mod:`repro.traffic.attacks`) into network scenarios
+(:mod:`repro.traffic.network`).  Dataset profiles mirroring the paper's
+F0-F9 and P0-P2 live in :mod:`repro.datasets`.
+"""
+
+from repro.traffic.builder import TraceBuilder
+from repro.traffic.devices import (
+    DEVICE_MODELS,
+    Device,
+    DeviceModel,
+)
+from repro.traffic.network import NetworkScenario
+from repro.traffic.attacks import ATTACK_GENERATORS, AttackSpec
+
+__all__ = [
+    "TraceBuilder",
+    "DEVICE_MODELS",
+    "Device",
+    "DeviceModel",
+    "NetworkScenario",
+    "ATTACK_GENERATORS",
+    "AttackSpec",
+]

@@ -1,0 +1,462 @@
+"""Attack traffic generators.
+
+Each generator injects one attack's labelled packets into a
+:class:`~repro.traffic.builder.TraceBuilder` over a time window.  The
+attack inventory covers every attack family the paper's Figure 5 heatmap
+distinguishes: DoS variants, reflection DDoS, scanning, brute force,
+botnet C&C and spreading, exfiltration, DNS tunnelling, ARP
+man-in-the-middle, web attacks, infiltration, and the 802.11 attacks
+(deauthentication, evil twin) of AWID3 -- whose frames carry no IP
+header, which is exactly why only packet-level algorithms that don't
+require IP fields can see them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.headers import Dot11Header, TCPFlags
+from repro.traffic.builder import TraceBuilder
+
+SYN = int(TCPFlags.SYN)
+SYN_ACK = int(TCPFlags.SYN | TCPFlags.ACK)
+ACK = int(TCPFlags.ACK)
+RST = int(TCPFlags.RST)
+RST_ACK = int(TCPFlags.RST | TCPFlags.ACK)
+PSH_ACK = int(TCPFlags.PSH | TCPFlags.ACK)
+FIN_ACK = int(TCPFlags.FIN | TCPFlags.ACK)
+
+
+@dataclass
+class AttackContext:
+    """Everything a generator needs to emit one attack instance."""
+
+    builder: TraceBuilder
+    rng: np.random.Generator
+    t0: float
+    t1: float
+    attacker_ips: list[int]
+    victim_ips: list[int]
+    intensity: float = 1.0
+    attacker_mac: int = 0xBADBADBAD001
+    victim_mac: int = 0x00AA00AA0001
+    gateway_ip: int = 0
+    external_prefix_base: int = 0x2D000000  # 45.0.0.0, "internet" space
+
+    def attacker(self) -> int:
+        return int(self.rng.choice(self.attacker_ips))
+
+    def victim(self) -> int:
+        return int(self.rng.choice(self.victim_ips))
+
+    def random_external_ip(self) -> int:
+        return int(self.external_prefix_base + self.rng.integers(1, 2**24 - 2))
+
+    def ephemeral(self) -> int:
+        return int(self.rng.integers(1024, 65535))
+
+
+def dos_syn_flood(ctx: AttackContext) -> None:
+    """High-rate TCP SYNs to one service; sources optionally spoofed."""
+    rate = 120.0 * ctx.intensity
+    victim = ctx.victim()
+    ts = ctx.t0
+    while ts < ctx.t1:
+        src = ctx.attacker() if ctx.rng.random() < 0.5 else ctx.random_external_ip()
+        ctx.builder.add_tcp(
+            ts, src, victim, ctx.ephemeral(), 80, 0, SYN,
+            ttl=int(ctx.rng.integers(40, 250)), window=int(ctx.rng.integers(512, 8192)),
+            attack="dos_syn_flood",
+        )
+        if ctx.rng.random() < 0.2:  # victim half-open replies
+            ctx.builder.add_tcp(
+                ts + 0.001, victim, src, 80, ctx.ephemeral(), 0, SYN_ACK,
+                attack="dos_syn_flood",
+            )
+        ts += float(ctx.rng.exponential(1.0 / rate))
+
+
+def dos_udp_flood(ctx: AttackContext) -> None:
+    """UDP datagram flood at random high ports."""
+    rate = 150.0 * ctx.intensity
+    victim = ctx.victim()
+    ts = ctx.t0
+    while ts < ctx.t1:
+        ctx.builder.add_udp(
+            ts, ctx.attacker(), victim, ctx.ephemeral(),
+            int(ctx.rng.integers(1024, 65535)),
+            int(ctx.rng.integers(600, 1460)),
+            ttl=int(ctx.rng.integers(40, 250)),
+            attack="dos_udp_flood",
+        )
+        ts += float(ctx.rng.exponential(1.0 / rate))
+
+
+def dos_http_flood(ctx: AttackContext) -> None:
+    """Complete-but-tiny HTTP request floods (GoldenEye/Hulk-like)."""
+    victim = ctx.victim()
+    ts = ctx.t0
+    while ts < ctx.t1:
+        ts = ctx.builder.add_tcp_session(
+            ts, ctx.attacker(), victim, ctx.ephemeral(), 80,
+            request_sizes=[int(ctx.rng.integers(120, 400))],
+            response_sizes=[int(ctx.rng.integers(200, 600))],
+            rng=ctx.rng, gap=0.002, attack="dos_http_flood",
+        )
+        ts += float(ctx.rng.exponential(0.05 / ctx.intensity))
+
+
+def dos_slowloris(ctx: AttackContext) -> None:
+    """Many long-lived connections trickling partial requests."""
+    victim = ctx.victim()
+    n_connections = int(60 * ctx.intensity)
+    for _ in range(n_connections):
+        port = ctx.ephemeral()
+        src = ctx.attacker()
+        ts = ctx.t0 + float(ctx.rng.uniform(0, (ctx.t1 - ctx.t0) * 0.2))
+        ctx.builder.add_tcp(ts, src, victim, port, 80, 0, SYN, attack="dos_slowloris")
+        ctx.builder.add_tcp(ts + 0.01, victim, src, 80, port, 0, SYN_ACK, attack="dos_slowloris")
+        ctx.builder.add_tcp(ts + 0.02, src, victim, port, 80, 0, ACK, attack="dos_slowloris")
+        while ts < ctx.t1:
+            ts += float(ctx.rng.uniform(5.0, 12.0))
+            ctx.builder.add_tcp(
+                ts, src, victim, port, 80, int(ctx.rng.integers(1, 20)), PSH_ACK,
+                attack="dos_slowloris",
+            )
+
+
+def ddos_reflection(ctx: AttackContext) -> None:
+    """Spoofed-source DNS/NTP amplification converging on the victim."""
+    victim = ctx.victim()
+    reflectors = [ctx.random_external_ip() for _ in range(24)]
+    rate = 60.0 * ctx.intensity
+    ts = ctx.t0
+    while ts < ctx.t1:
+        reflector = int(ctx.rng.choice(reflectors))
+        service = int(ctx.rng.choice([53, 123, 389]))
+        # the (spoofed) query as seen leaving the attacker's network
+        if ctx.rng.random() < 0.2:
+            ctx.builder.add_udp(
+                ts, victim, reflector, ctx.ephemeral(), service, 60,
+                attack="ddos_reflection",
+            )
+        # the amplified reply hammering the victim
+        ctx.builder.add_udp(
+            ts + 0.01, reflector, victim, service, ctx.ephemeral(),
+            int(ctx.rng.integers(900, 1460)),
+            ttl=int(ctx.rng.integers(40, 250)),
+            attack="ddos_reflection",
+        )
+        ts += float(ctx.rng.exponential(1.0 / rate))
+
+
+def icmp_flood(ctx: AttackContext) -> None:
+    """ICMP echo-request flood (ping flood) on the victim."""
+    rate = 150.0 * ctx.intensity
+    victim = ctx.victim()
+    ts = ctx.t0
+    while ts < ctx.t1:
+        ctx.builder.add_icmp(
+            ts, ctx.attacker(), victim,
+            payload_len=int(ctx.rng.integers(56, 1400)),
+            ttl=int(ctx.rng.integers(40, 250)),
+            attack="icmp_flood",
+        )
+        if ctx.rng.random() < 0.4:  # echo replies from the victim
+            ctx.builder.add_icmp(ts + 0.001, victim, ctx.attacker(),
+                                 payload_len=56, attack="icmp_flood")
+        ts += float(ctx.rng.exponential(1.0 / rate))
+
+
+def ssh_tunnel_cnc(ctx: AttackContext) -> None:
+    """C&C hidden inside a long-lived encrypted session on port 22.
+
+    Unlike the beaconing bot, this is ONE persistent connection with
+    slow, small, bidirectional chatter -- hard for per-connection volume
+    features, visible to timing-sensitive ones.
+    """
+    bot = ctx.victim()
+    controller = ctx.attacker_ips[0]
+    port = ctx.ephemeral()
+    ctx.builder.add_tcp(ctx.t0, bot, controller, port, 22, 0, SYN, attack="ssh_tunnel_cnc")
+    ctx.builder.add_tcp(ctx.t0 + 0.05, controller, bot, 22, port, 0, SYN_ACK, attack="ssh_tunnel_cnc")
+    ctx.builder.add_tcp(ctx.t0 + 0.1, bot, controller, port, 22, 0, ACK, attack="ssh_tunnel_cnc")
+    ts = ctx.t0 + 0.5
+    while ts < ctx.t1:
+        up = ctx.rng.random() < 0.5
+        src, dst, sport, dport = (
+            (bot, controller, port, 22) if up else (controller, bot, 22, port)
+        )
+        ctx.builder.add_tcp(
+            ts, src, dst, sport, dport,
+            int(ctx.rng.integers(48, 200)), PSH_ACK, attack="ssh_tunnel_cnc",
+        )
+        ts += float(ctx.rng.exponential(8.0 / max(ctx.intensity, 0.1)))
+    ctx.builder.add_tcp(min(ts, ctx.t1), bot, controller, port, 22, 0, FIN_ACK, attack="ssh_tunnel_cnc")
+
+
+def port_scan(ctx: AttackContext) -> None:
+    """Sequential SYN scan over the victim's ports; mostly RSTs back."""
+    attacker = ctx.attacker()
+    victim = ctx.victim()
+    ports = ctx.rng.permutation(np.arange(1, 1 + int(800 * ctx.intensity)))
+    span = ctx.t1 - ctx.t0
+    for i, port in enumerate(ports):
+        ts = ctx.t0 + span * i / len(ports) + float(ctx.rng.exponential(0.002))
+        src_port = ctx.ephemeral()
+        ctx.builder.add_tcp(ts, attacker, victim, src_port, int(port), 0, SYN, attack="port_scan")
+        if ctx.rng.random() < 0.92:
+            ctx.builder.add_tcp(
+                ts + 0.001, victim, attacker, int(port), src_port, 0, RST_ACK,
+                attack="port_scan",
+            )
+        else:  # open port
+            ctx.builder.add_tcp(
+                ts + 0.001, victim, attacker, int(port), src_port, 0, SYN_ACK,
+                attack="port_scan",
+            )
+            ctx.builder.add_tcp(
+                ts + 0.002, attacker, victim, src_port, int(port), 0, RST,
+                attack="port_scan",
+            )
+
+
+def _brute_force(ctx: AttackContext, service_port: int, name: str) -> None:
+    attacker = ctx.attacker()
+    victim = ctx.victim()
+    ts = ctx.t0
+    while ts < ctx.t1:
+        ts = ctx.builder.add_tcp_session(
+            ts, attacker, victim, ctx.ephemeral(), service_port,
+            request_sizes=[int(ctx.rng.integers(16, 48)) for _ in range(2)],
+            response_sizes=[int(ctx.rng.integers(30, 90))],
+            rng=ctx.rng, gap=0.01, attack=name,
+        )
+        ts += float(ctx.rng.exponential(0.4 / ctx.intensity))
+
+
+def brute_force_ssh(ctx: AttackContext) -> None:
+    """Rapid-fire SSH login attempts (Patator-style)."""
+    _brute_force(ctx, 22, "brute_force_ssh")
+
+
+def brute_force_ftp(ctx: AttackContext) -> None:
+    """Rapid-fire FTP login attempts."""
+    _brute_force(ctx, 21, "brute_force_ftp")
+
+
+def brute_force_telnet(ctx: AttackContext) -> None:
+    """Telnet credential stuffing, the classic IoT infection vector."""
+    _brute_force(ctx, 23, "brute_force_telnet")
+
+
+def botnet_cnc(ctx: AttackContext) -> None:
+    """Metronomic C&C beaconing from an infected device."""
+    bot = ctx.victim()  # the infected local device originates the traffic
+    controller = ctx.attacker_ips[0]
+    period = 20.0 / max(ctx.intensity, 0.1)
+    for ts in np.arange(ctx.t0, ctx.t1, period):
+        port = ctx.ephemeral()  # bots reconnect for every beacon
+        jitter = float(abs(ctx.rng.normal(0, 0.3)))
+        ctx.builder.add_tcp(
+            ts + jitter, bot, controller, port, 6667,
+            int(ctx.rng.integers(24, 64)), PSH_ACK, attack="botnet_cnc",
+        )
+        ctx.builder.add_tcp(
+            ts + jitter + 0.12, controller, bot, 6667, port,
+            int(ctx.rng.integers(8, 48)), PSH_ACK, attack="botnet_cnc",
+        )
+
+
+def botnet_spread(ctx: AttackContext) -> None:
+    """Mirai-style telnet sweep of the internet from an infected device."""
+    bot = ctx.victim()
+    rate = 8.0 * ctx.intensity
+    ts = ctx.t0
+    while ts < ctx.t1:
+        target = ctx.random_external_ip()
+        src_port = ctx.ephemeral()
+        dst_port = int(ctx.rng.choice([23, 2323]))
+        ctx.builder.add_tcp(ts, bot, target, src_port, dst_port, 0, SYN, attack="botnet_spread")
+        roll = ctx.rng.random()
+        if roll < 0.05:  # found a victim: brute force it
+            ctx.builder.add_tcp(ts + 0.2, target, bot, dst_port, src_port, 0, SYN_ACK, attack="botnet_spread")
+            ctx.builder.add_tcp(ts + 0.21, bot, target, src_port, dst_port, 0, ACK, attack="botnet_spread")
+            ctx.builder.add_tcp(
+                ts + 0.3, bot, target, src_port, dst_port,
+                int(ctx.rng.integers(16, 40)), PSH_ACK, attack="botnet_spread",
+            )
+        elif roll < 0.2:
+            ctx.builder.add_tcp(ts + 0.2, target, bot, dst_port, src_port, 0, RST_ACK, attack="botnet_spread")
+        ts += float(ctx.rng.exponential(1.0 / rate))
+
+
+def exfiltration(ctx: AttackContext) -> None:
+    """Bulk data upload from a compromised device to a staging host."""
+    bot = ctx.victim()
+    sink = ctx.attacker_ips[0]
+    ts = ctx.t0
+    while ts < ctx.t1:
+        ts = ctx.builder.add_tcp_session(
+            ts, bot, sink, ctx.ephemeral(), 8443,
+            request_sizes=[1460] * int(ctx.rng.integers(30, 120)),
+            response_sizes=[52],
+            rng=ctx.rng, gap=0.004, attack="exfiltration",
+        )
+        ts += float(ctx.rng.exponential(15.0 / ctx.intensity))
+
+
+def dns_tunnel(ctx: AttackContext) -> None:
+    """Steady stream of oversized DNS queries carrying tunnelled data."""
+    bot = ctx.victim()
+    resolver = ctx.attacker_ips[0]
+    rate = 4.0 * ctx.intensity
+    ts = ctx.t0
+    while ts < ctx.t1:
+        ctx.builder.add_udp_exchange(
+            ts, bot, resolver, ctx.ephemeral(), 53,
+            query_len=int(ctx.rng.integers(70, 180)),
+            reply_len=int(ctx.rng.integers(90, 260)),
+            rng=ctx.rng, attack="dns_tunnel",
+        )
+        ts += float(ctx.rng.exponential(1.0 / rate))
+
+
+def arp_mitm(ctx: AttackContext) -> None:
+    """Gratuitous ARP replies poisoning victim and gateway caches."""
+    victim = ctx.victim()
+    gateway = ctx.gateway_ip or ctx.victim_ips[0]
+    period = 1.0 / max(ctx.intensity, 0.1)
+    for ts in np.arange(ctx.t0, ctx.t1, period):
+        jitter = float(ctx.rng.normal(0, 0.05))
+        # attacker claims the gateway's IP to the victim...
+        ctx.builder.add_arp(
+            ts + jitter, ctx.attacker_mac, ctx.victim_mac, gateway, victim,
+            attack="arp_mitm",
+        )
+        # ...and the victim's IP to the gateway
+        ctx.builder.add_arp(
+            ts + jitter + 0.02, ctx.attacker_mac, 0xFFFFFFFFFFFF, victim, gateway,
+            attack="arp_mitm",
+        )
+
+
+def web_attack(ctx: AttackContext) -> None:
+    """Web attacks (SQLi/XSS probing).
+
+    Deliberately mimics benign browsing request/response sizes; only the
+    slightly-too-regular cadence and error-sized replies give it away,
+    which makes this one of the harder attacks to detect (as in the
+    paper's CICIDS Thursday results).
+    """
+    attacker = ctx.attacker()
+    victim = ctx.victim()
+    ts = ctx.t0
+    while ts < ctx.t1:
+        n_objects = int(ctx.rng.pareto(1.5) + 1)
+        ts = ctx.builder.add_tcp_session(
+            ts, attacker, victim, ctx.ephemeral(), 80,
+            request_sizes=[int(ctx.rng.integers(80, 700))
+                           for _ in range(min(n_objects, 6))],
+            response_sizes=[int(ctx.rng.integers(200, 600))],
+            rng=ctx.rng, gap=0.03, attack="web_attack",
+        )
+        ts += float(ctx.rng.exponential(1.5 / ctx.intensity))
+
+
+def infiltration(ctx: AttackContext) -> None:
+    """A dropper connection followed by an internal sweep."""
+    attacker = ctx.attacker()
+    victim = ctx.victim()
+    mid = ctx.t0 + (ctx.t1 - ctx.t0) * 0.2
+    ctx.builder.add_tcp_session(
+        ctx.t0, attacker, victim, ctx.ephemeral(), 444,
+        request_sizes=[1460] * 8, response_sizes=[200] * 2,
+        rng=ctx.rng, attack="infiltration",
+    )
+    # the compromised host scans its own subnet
+    subnet_base = victim & 0xFFFFFF00
+    span = ctx.t1 - mid
+    hosts = ctx.rng.permutation(np.arange(1, 255))
+    for i, host in enumerate(hosts):
+        ts = mid + span * i / len(hosts)
+        ctx.builder.add_tcp(
+            ts, victim, int(subnet_base + host), ctx.ephemeral(), 445, 0, SYN,
+            attack="infiltration",
+        )
+
+
+def wifi_deauth(ctx: AttackContext) -> None:
+    """802.11 deauthentication flood; frames carry no IP header."""
+    rate = 60.0 * ctx.intensity
+    ts = ctx.t0
+    while ts < ctx.t1:
+        ctx.builder.add_dot11(
+            ts, Dot11Header.TYPE_MANAGEMENT, Dot11Header.SUBTYPE_DEAUTH,
+            ctx.attacker_mac, ctx.victim_mac, payload_len=2, attack="wifi_deauth",
+        )
+        ts += float(ctx.rng.exponential(1.0 / rate))
+
+
+def wifi_eviltwin(ctx: AttackContext) -> None:
+    """Rogue-AP beacons plus hijacked data frames."""
+    rogue_mac = ctx.attacker_mac ^ 0x010101
+    for ts in np.arange(ctx.t0, ctx.t1, 0.1024):
+        ctx.builder.add_dot11(
+            float(ts), Dot11Header.TYPE_MANAGEMENT, Dot11Header.SUBTYPE_BEACON,
+            rogue_mac, 0xFFFFFFFFFFFF, payload_len=int(ctx.rng.integers(60, 120)),
+            attack="wifi_eviltwin",
+        )
+    ts = ctx.t0
+    while ts < ctx.t1:
+        ctx.builder.add_dot11(
+            ts, Dot11Header.TYPE_DATA, 0, ctx.victim_mac, rogue_mac,
+            payload_len=int(ctx.rng.integers(80, 800)), attack="wifi_eviltwin",
+        )
+        ts += float(ctx.rng.exponential(0.2 / ctx.intensity))
+
+
+ATTACK_GENERATORS = {
+    "dos_syn_flood": dos_syn_flood,
+    "dos_udp_flood": dos_udp_flood,
+    "dos_http_flood": dos_http_flood,
+    "dos_slowloris": dos_slowloris,
+    "ddos_reflection": ddos_reflection,
+    "icmp_flood": icmp_flood,
+    "ssh_tunnel_cnc": ssh_tunnel_cnc,
+    "port_scan": port_scan,
+    "brute_force_ssh": brute_force_ssh,
+    "brute_force_ftp": brute_force_ftp,
+    "brute_force_telnet": brute_force_telnet,
+    "botnet_cnc": botnet_cnc,
+    "botnet_spread": botnet_spread,
+    "exfiltration": exfiltration,
+    "dns_tunnel": dns_tunnel,
+    "arp_mitm": arp_mitm,
+    "web_attack": web_attack,
+    "infiltration": infiltration,
+    "wifi_deauth": wifi_deauth,
+    "wifi_eviltwin": wifi_eviltwin,
+}
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One attack occurrence inside a dataset profile.
+
+    ``start_frac``/``end_frac`` position the attack window inside the
+    trace; ``intensity`` scales the generator's base rate.
+    """
+
+    name: str
+    start_frac: float = 0.3
+    end_frac: float = 0.7
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.name not in ATTACK_GENERATORS:
+            raise ValueError(f"unknown attack: {self.name!r}")
+        if not 0.0 <= self.start_frac < self.end_frac <= 1.0:
+            raise ValueError("attack window must satisfy 0 <= start < end <= 1")

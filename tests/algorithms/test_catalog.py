@@ -1,0 +1,118 @@
+"""Tests for the algorithm catalog (A00-A15)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ALGORITHMS, build_algorithm
+from repro.algorithms.catalog import algorithm_ids
+from repro.core import ExecutionEngine
+from repro.datasets import load_dataset
+from repro.flows import Granularity
+
+
+CATALOG_IDS = [f"A{i:02d}" for i in range(16)]
+
+
+class TestCatalogStructure:
+    def test_sixteen_algorithms(self):
+        for algorithm_id in CATALOG_IDS:
+            assert algorithm_id in ALGORITHMS
+
+    def test_granularity_split_matches_paper(self):
+        packet = set(algorithm_ids(Granularity.PACKET))
+        assert packet == {"A00", "A01", "A02", "A03", "A04", "A05", "A06"}
+        flowlike = (
+            set(algorithm_ids(Granularity.CONNECTION))
+            | set(algorithm_ids(Granularity.UNI_FLOW))
+        )
+        assert flowlike >= {"A07", "A08", "A09", "A10", "A11", "A12", "A13",
+                            "A14", "A15"}
+
+    def test_all_templates_validate(self):
+        for algorithm_id in CATALOG_IDS:
+            spec = build_algorithm(algorithm_id)
+            spec.feature_pipeline()  # raises TemplateError if malformed
+            spec.model_pipeline()
+
+    def test_every_spec_cites_its_paper(self):
+        for algorithm_id in CATALOG_IDS:
+            assert build_algorithm(algorithm_id).paper
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            build_algorithm("A99")
+
+    def test_full_template_ends_with_evaluate(self):
+        spec = build_algorithm("A14")
+        template = spec.full_template()
+        assert template[-1]["func"] == "evaluate"
+        from repro.core import Pipeline
+
+        Pipeline.from_template(template)  # must validate as a whole
+
+
+class TestModelConstruction:
+    @pytest.mark.parametrize("algorithm_id", CATALOG_IDS)
+    def test_build_model_returns_fittable(self, algorithm_id):
+        model = build_algorithm(algorithm_id).build_model()
+        assert hasattr(model, "fit")
+        assert hasattr(model, "predict")
+
+    def test_build_model_independent_instances(self):
+        spec = build_algorithm("A14")
+        assert spec.build_model() is not spec.build_model()
+
+
+class TestFeaturization:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return ExecutionEngine(track_memory=False)
+
+    @pytest.mark.parametrize(
+        "algorithm_id", ["A00", "A05", "A06"]
+    )
+    def test_packet_algorithms_on_packet_dataset(self, algorithm_id, engine):
+        spec = build_algorithm(algorithm_id)
+        X, y = spec.featurize(load_dataset("P0"), engine, source_token="P0")
+        assert len(X) == len(y) <= 3000
+        assert np.isfinite(X).all()
+        assert set(np.unique(y)) <= {0, 1}
+
+    @pytest.mark.parametrize(
+        "algorithm_id",
+        ["A07", "A10", "A11", "A12", "A13", "A14", "A15"],
+    )
+    def test_flow_algorithms_on_connection_dataset(self, algorithm_id, engine):
+        spec = build_algorithm(algorithm_id)
+        X, y = spec.featurize(load_dataset("F0"), engine, source_token="F0")
+        assert len(X) == len(y) > 100
+        assert np.isfinite(X).all()
+
+    def test_nprint_variants_differ_in_width(self, engine):
+        table = load_dataset("P0")
+        widths = {}
+        for algorithm_id in ("A01", "A02", "A03", "A04"):
+            X, _ = build_algorithm(algorithm_id).featurize(
+                table, engine, source_token="P0"
+            )
+            widths[algorithm_id] = X.shape[1]
+        assert widths["A01"] > widths["A02"]
+        assert widths["A03"] > widths["A02"]
+        assert len(set(widths.values())) == 4
+
+    def test_featurization_deterministic(self, engine):
+        spec = build_algorithm("A10")
+        fresh = ExecutionEngine(use_cache=False, track_memory=False)
+        X1, y1 = spec.featurize(load_dataset("F0"), fresh, source_token="F0")
+        X2, y2 = spec.featurize(load_dataset("F0"), fresh, source_token="F0")
+        assert np.array_equal(X1, X2)
+        assert np.array_equal(y1, y2)
+
+    def test_same_features_shared_between_a07_a08_a09(self, engine):
+        # identical feature templates -> one cached featurization
+        fresh = ExecutionEngine(track_memory=False)
+        table = load_dataset("F4")
+        build_algorithm("A07").featurize(table, fresh, source_token="F4")
+        build_algorithm("A08").featurize(table, fresh, source_token="F4")
+        cached = [p.cached for p in fresh.last_report.profiles]
+        assert all(cached)

@@ -1,0 +1,131 @@
+"""Tests for merged-dataset training and the greedy synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ALGORITHMS, build_algorithm
+from repro.algorithms.synthesis import (
+    FEATURE_BLOCKS,
+    GreedySynthesizer,
+    _feature_template,
+    merged_train_test,
+    synthesized_algorithms,
+)
+from repro.core import Pipeline
+
+
+class TestFeatureTemplates:
+    def test_single_block_template_validates(self):
+        for block in FEATURE_BLOCKS:
+            Pipeline.from_template(list(_feature_template([block])))
+
+    def test_multi_block_template_validates(self):
+        template = _feature_template(["conn_log", "volume_stats",
+                                      "port_entropy"])
+        pipeline = Pipeline.from_template(list(template))
+        assert pipeline.output_name == "y"
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            _feature_template([])
+
+
+class TestMergedTraining:
+    def test_split_sizes_and_disjointness(self):
+        spec = build_algorithm("A14")
+        X_train, y_train, X_test, y_test = merged_train_test(
+            spec, ["F0", "F1"], fraction=0.1, seed=0
+        )
+        assert len(X_train) == len(y_train)
+        assert len(X_test) == len(y_test)
+        # 10% of each dataset on each side
+        assert len(X_train) == len(X_test)
+
+    def test_fraction_bounds(self):
+        spec = build_algorithm("A14")
+        with pytest.raises(ValueError):
+            merged_train_test(spec, ["F0"], fraction=0.0)
+        with pytest.raises(ValueError):
+            merged_train_test(spec, ["F0"], fraction=0.9)
+
+    def test_contains_units_from_every_dataset(self):
+        spec = build_algorithm("A14")
+        _, y_a, _, _ = merged_train_test(spec, ["F0"], fraction=0.1, seed=0)
+        _, y_ab, _, _ = merged_train_test(
+            spec, ["F0", "F1"], fraction=0.1, seed=0
+        )
+        assert len(y_ab) > len(y_a)
+
+    def test_merged_training_improves_cross_generalisation(self):
+        # Observation 5: merging datasets improves precision on a mixed
+        # test set, compared with training on a single dataset.
+        spec = build_algorithm("A14")
+        X_train, y_train, X_test, y_test = merged_train_test(
+            spec, ["F0", "F1", "F4", "F6"], fraction=0.15, seed=1
+        )
+        merged_model = spec.build_model()
+        merged_model.fit(X_train, y_train)
+        from repro.ml import precision_score
+
+        merged_precision = precision_score(
+            y_test, merged_model.predict(X_test)
+        )
+        # single-dataset training on F0 only
+        from repro.core import ExecutionEngine
+        from repro.datasets import load_dataset
+
+        engine = ExecutionEngine(track_memory=False)
+        X_f0, y_f0 = spec.featurize(load_dataset("F0"), engine, "F0")
+        single_model = spec.build_model()
+        single_model.fit(X_f0, y_f0)
+        single_precision = precision_score(
+            y_test, single_model.predict(X_test)
+        )
+        assert merged_precision >= single_precision - 0.02
+
+
+class TestSynthesizer:
+    @pytest.fixture(scope="class")
+    def synthesizer(self):
+        synth = GreedySynthesizer(["F0", "F4"], fraction=0.15, seed=0)
+        # restrict to two cheap model families for test speed
+        import repro.algorithms.synthesis as synthesis_module
+
+        original = synthesis_module.MODEL_CANDIDATES
+        synthesis_module.MODEL_CANDIDATES = [
+            ("DecisionTree", {}, False),
+            ("NaiveBayes", {}, True),
+        ]
+        try:
+            synth.search(max_blocks=2)
+        finally:
+            synthesis_module.MODEL_CANDIDATES = original
+        return synth
+
+    def test_search_produces_ranked_results(self, synthesizer):
+        results = sorted(
+            synthesizer.results, key=lambda r: r.f1, reverse=True
+        )
+        assert len(results) >= 5
+        assert results[0].f1 >= results[-1].f1
+        assert all(0.0 <= r.precision <= 1.0 for r in results)
+
+    def test_top_specs_are_distinct_and_valid(self, synthesizer):
+        specs = synthesizer.top_specs(2)
+        assert [s.algorithm_id for s in specs] == ["AM01", "AM02"]
+        for spec in specs:
+            spec.feature_pipeline()
+            spec.model_pipeline()
+            assert spec.granularity.name == "CONNECTION"
+
+    def test_describe_is_readable(self, synthesizer):
+        text = synthesizer.results[0].describe()
+        assert "precision=" in text
+
+    def test_register_into_catalog(self, synthesizer):
+        specs = synthesizer.top_specs(1)
+        ALGORITHMS[specs[0].algorithm_id] = specs[0]
+        try:
+            assert build_algorithm("AM01") is specs[0]
+        finally:
+            ALGORITHMS.pop("AM01", None)

@@ -1,0 +1,66 @@
+"""Tests for result-store diffing."""
+
+import pytest
+
+from repro.bench.diffing import diff_stores, render_diff
+from repro.bench.results import EvaluationResult, ResultStore
+
+
+def result(algorithm="A10", train="F0", test="F0", precision=0.9, recall=0.8):
+    return EvaluationResult(
+        algorithm=algorithm, train_dataset=train, test_dataset=test,
+        mode="same" if train == test else "cross",
+        granularity="CONNECTION", precision=precision, recall=recall,
+        f1=0.85, accuracy=0.9, n_train=100, n_test=40,
+    )
+
+
+class TestDiff:
+    def test_identical_stores_clean(self):
+        store = ResultStore([result(), result("A14")])
+        diff = diff_stores(store, store)
+        assert diff.is_clean
+        assert render_diff(diff) == "identical: no cells changed"
+
+    def test_detects_regression(self):
+        before = ResultStore([result(precision=0.9)])
+        after = ResultStore([result(precision=0.5)])
+        diff = diff_stores(before, after)
+        assert len(diff.regressions) == 1
+        assert diff.regressions[0].delta == pytest.approx(-0.4)
+        assert not diff.improvements
+
+    def test_detects_improvement_and_metric(self):
+        before = ResultStore([result(recall=0.5)])
+        after = ResultStore([result(recall=0.9)])
+        diff = diff_stores(before, after)
+        assert len(diff.improvements) == 1
+        assert diff.improvements[0].metric == "recall"
+
+    def test_membership_changes(self):
+        before = ResultStore([result("A10"), result("A13")])
+        after = ResultStore([result("A10"), result("A14")])
+        diff = diff_stores(before, after)
+        assert diff.only_before == [("A13", "F0", "F0")]
+        assert diff.only_after == [("A14", "F0", "F0")]
+        assert not diff.is_clean
+
+    def test_tolerance_suppresses_noise(self):
+        before = ResultStore([result(precision=0.9)])
+        after = ResultStore([result(precision=0.9 + 1e-12)])
+        assert diff_stores(before, after).is_clean
+
+    def test_render_lists_movements(self):
+        before = ResultStore([result(precision=0.9), result("A14", precision=0.4)])
+        after = ResultStore([result(precision=0.2), result("A14", precision=0.8)])
+        text = render_diff(diff_stores(before, after))
+        assert "1 down, 1 up" in text
+        assert "v A10" in text
+        assert "^ A14" in text
+
+    def test_determinism_against_itself(self, tmp_path):
+        """A saved store diffed against a reload of itself is clean."""
+        store = ResultStore([result(), result("A14", "F0", "F1")])
+        path = tmp_path / "store.json"
+        store.save_json(path)
+        assert diff_stores(store, ResultStore.load_json(path)).is_clean

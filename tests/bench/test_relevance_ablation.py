@@ -1,0 +1,70 @@
+"""Tests for feature relevance and the faithfulness ablation."""
+
+import numpy as np
+import pytest
+
+from repro.bench.ablation import (
+    FaithfulnessAblation,
+    measure_rewrite_damage,
+    render_ablation,
+)
+from repro.bench.relevance import feature_relevance, top_features
+
+
+class TestFeatureRelevance:
+    @pytest.fixture(scope="class")
+    def relevance(self):
+        return feature_relevance("A10", "F1", n_estimators=8)
+
+    def test_rows_are_attacks_of_the_dataset(self, relevance):
+        from repro.datasets import DATASETS
+
+        assert set(relevance.row_labels) <= set(DATASETS["F1"].attacks)
+        assert relevance.row_labels  # at least one attack measurable
+
+    def test_columns_are_named_features(self, relevance):
+        assert "syn_rate" in relevance.col_labels
+        assert len(relevance.col_labels) == 10
+
+    def test_importances_normalised(self, relevance):
+        for i in range(len(relevance.row_labels)):
+            row = np.nan_to_num(relevance.values[i])
+            assert abs(row.sum() - 1.0) < 1e-6 or row.sum() == 0
+
+    def test_top_features_ordering(self, relevance):
+        attack = relevance.row_labels[0]
+        best = top_features(relevance, attack, k=3)
+        assert len(best) == 3
+        row = relevance.values[relevance.row_labels.index(attack)]
+        values = [row[relevance.col_labels.index(name)] for name in best]
+        assert values == sorted(values, reverse=True)
+
+    def test_generic_names_for_unnamed_algorithms(self):
+        relevance = feature_relevance("A14", "F1", n_estimators=5)
+        assert all(name.startswith("f") for name in relevance.col_labels)
+
+
+class TestFaithfulnessAblation:
+    def test_measures_packet_dataset(self):
+        row = measure_rewrite_damage("P0")
+        assert row.n_connections > 100
+        assert 0.0 <= row.packet_label_fraction <= 1.0
+        assert row.rewritten_label_fraction >= row.packet_label_fraction
+
+    def test_mitm_creates_mixed_connections(self):
+        # the interception labelling guarantees the paper's mixed-label
+        # situation actually occurs in the MitM datasets
+        assert measure_rewrite_damage("P0").n_mixed_connections > 0
+
+    def test_properties(self):
+        row = FaithfulnessAblation(
+            dataset="X", n_connections=10, n_mixed_connections=3,
+            packet_label_fraction=0.2, rewritten_label_fraction=0.5,
+        )
+        assert row.mixed_fraction == pytest.approx(0.3)
+        assert row.label_inflation == pytest.approx(0.3)
+
+    def test_render(self):
+        text = render_ablation([measure_rewrite_damage("P0")])
+        assert "P0" in text
+        assert "rewritten" in text

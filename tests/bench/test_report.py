@@ -1,0 +1,64 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.bench.report import generate_report
+from repro.bench.results import EvaluationResult, ResultStore
+
+
+def result(algorithm, train, test, precision, per_attack=None):
+    return EvaluationResult(
+        algorithm=algorithm, train_dataset=train, test_dataset=test,
+        mode="same" if train == test else "cross",
+        granularity="CONNECTION", precision=precision, recall=precision,
+        f1=precision, accuracy=precision, n_train=100, n_test=40,
+        per_attack=per_attack or {},
+    )
+
+
+@pytest.fixture
+def store():
+    return ResultStore(
+        [
+            result("A10", "F0", "F0", 1.0,
+                   {"port_scan": {"precision": 0.9, "recall": 0.8}}),
+            result("A10", "F0", "F1", 0.1),
+            result("A10", "F1", "F0", 0.9),
+            result("A13", "F0", "F0", 0.7,
+                   {"port_scan": {"precision": 0.5, "recall": 0.6}}),
+            result("A13", "F0", "F1", 0.05),
+            result("A13", "F1", "F1", 0.8),
+        ]
+    )
+
+
+class TestReport:
+    def test_contains_all_sections(self, store):
+        text = generate_report(store)
+        for heading in (
+            "# Lumen benchmark report",
+            "## Headline observations",
+            "## Same-dataset precision",
+            "## Cross-dataset precision",
+            "## Gap to the best algorithm",
+            "## Median precision per train x test pair",
+            "## Per-attack precision",
+            "## Deployment recommendations",
+        ):
+            assert heading in text
+
+    def test_recommendation_picks_best(self, store):
+        text = generate_report(store)
+        # A10 beats A13 on port_scan (0.9 vs 0.5)
+        assert "| port_scan | A10 | 0.90 |" in text
+
+    def test_counts_in_header(self, store):
+        text = generate_report(store)
+        assert "6 evaluations over 2 algorithms and 2 datasets." in text
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(ResultStore())
+
+    def test_custom_title(self, store):
+        assert generate_report(store, title="My run").startswith("# My run")

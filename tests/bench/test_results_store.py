@@ -1,0 +1,133 @@
+"""Tests for the result store and heatmap renderers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.heatmap import BoxData, Heatmap
+from repro.bench.results import EvaluationResult, ResultStore
+
+
+def make_result(algorithm="A10", train="F0", test="F0", precision=0.9,
+                recall=0.8, mode=None):
+    return EvaluationResult(
+        algorithm=algorithm,
+        train_dataset=train,
+        test_dataset=test,
+        mode=mode or ("same" if train == test else "cross"),
+        granularity="CONNECTION",
+        precision=precision,
+        recall=recall,
+        f1=0.85,
+        accuracy=0.9,
+        n_train=700,
+        n_test=300,
+    )
+
+
+class TestResultStore:
+    def test_query_by_algorithm(self):
+        store = ResultStore([make_result("A10"), make_result("A14")])
+        assert len(store.query(algorithm="A10")) == 1
+
+    def test_query_combines_filters(self):
+        store = ResultStore(
+            [
+                make_result("A10", "F0", "F0"),
+                make_result("A10", "F0", "F1"),
+                make_result("A14", "F0", "F1"),
+            ]
+        )
+        assert len(store.query(algorithm="A10", mode="cross")) == 1
+
+    def test_datasets_collects_both_sides(self):
+        store = ResultStore([make_result(train="F0", test="F3")])
+        assert store.datasets() == ["F0", "F3"]
+
+    def test_best_per_pair(self):
+        store = ResultStore(
+            [
+                make_result("A10", precision=0.5),
+                make_result("A14", precision=0.9),
+            ]
+        )
+        assert store.best_per_pair()[("F0", "F0")] == 0.9
+
+    def test_json_round_trip(self, tmp_path):
+        store = ResultStore([make_result(), make_result("A14", "F0", "F1")])
+        path = tmp_path / "results.json"
+        store.save_json(path)
+        loaded = ResultStore.load_json(path)
+        assert len(loaded) == 2
+        assert loaded.results[0] == store.results[0]
+
+    def test_csv_export(self, tmp_path):
+        store = ResultStore([make_result()])
+        path = tmp_path / "results.csv"
+        store.save_csv(path)
+        content = path.read_text()
+        assert "algorithm" in content.splitlines()[0]
+        assert "A10" in content
+
+    def test_per_attack_survives_json(self, tmp_path):
+        result = EvaluationResult(
+            algorithm="A10", train_dataset="F0", test_dataset="F0",
+            mode="same", granularity="CONNECTION", precision=1.0,
+            recall=1.0, f1=1.0, accuracy=1.0, n_train=10, n_test=10,
+            per_attack={"port_scan": {"precision": 0.7, "recall": 0.5}},
+        )
+        store = ResultStore([result])
+        path = tmp_path / "r.json"
+        store.save_json(path)
+        loaded = ResultStore.load_json(path)
+        assert loaded.results[0].per_attack["port_scan"]["precision"] == 0.7
+
+
+class TestHeatmap:
+    def test_from_cells(self):
+        heatmap = Heatmap.from_cells({("a", "x"): 0.5, ("b", "y"): 1.0})
+        assert heatmap.cell("a", "x") == 0.5
+        assert np.isnan(heatmap.cell("a", "y"))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Heatmap(["a"], ["x", "y"], np.zeros((2, 2)))
+
+    def test_render_marks_missing(self):
+        heatmap = Heatmap.from_cells({("a", "x"): 0.5, ("b", "y"): 1.0})
+        rendered = heatmap.render()
+        assert "--" in rendered
+        assert "0.50" in rendered
+
+    def test_csv_round_trippable(self):
+        heatmap = Heatmap.from_cells({("a", "x"): 0.25})
+        csv_text = heatmap.to_csv()
+        assert "0.25" in csv_text
+        assert csv_text.splitlines()[0] == ",x"
+
+    def test_row_means_skip_nan(self):
+        heatmap = Heatmap.from_cells(
+            {("a", "x"): 0.4, ("a", "y"): 0.6, ("b", "x"): 1.0},
+            ["a", "b"], ["x", "y"],
+        )
+        means = heatmap.row_means()
+        assert means["a"] == pytest.approx(0.5)
+        assert means["b"] == pytest.approx(1.0)
+
+
+class TestBoxData:
+    def test_summary_statistics(self):
+        data = BoxData()
+        for value in (0.0, 0.25, 0.5, 0.75, 1.0):
+            data.add("g", value)
+        summary = data.summary()["g"]
+        assert summary["min"] == 0.0
+        assert summary["median"] == 0.5
+        assert summary["max"] == 1.0
+        assert summary["n"] == 5
+
+    def test_render_contains_groups(self):
+        data = BoxData()
+        data.add("A10", 0.9)
+        data.add("A14", 0.3)
+        rendered = data.render()
+        assert "A10" in rendered and "A14" in rendered

@@ -1,0 +1,73 @@
+"""Tests for multi-seed robustness analysis."""
+
+import pytest
+
+from repro.bench.robustness import (
+    SeedRobustness,
+    evaluate_across_seeds,
+    significantly_better,
+)
+
+
+class TestSeedRobustnessStats:
+    def test_mean_std_ci(self):
+        cell = SeedRobustness("A14", "F0", "F0", "precision",
+                              (0.9, 1.0, 0.95, 0.85))
+        assert cell.mean == pytest.approx(0.925)
+        assert cell.std > 0
+        low, high = cell.confidence_interval()
+        assert low < cell.mean < high
+
+    def test_single_value_has_zero_std(self):
+        cell = SeedRobustness("A14", "F0", "F0", "precision", (0.9,))
+        assert cell.std == 0.0
+        low, high = cell.confidence_interval()
+        assert low == high == pytest.approx(0.9)
+
+    def test_describe_is_readable(self):
+        cell = SeedRobustness("A14", "F0", "F1", "recall", (0.5, 0.6))
+        text = cell.describe()
+        assert "A14 F0->F1 recall" in text
+        assert "95% CI" in text
+
+
+class TestEvaluateAcrossSeeds:
+    def test_collects_one_value_per_seed(self):
+        cell = evaluate_across_seeds("A13", "F0", seeds=(0, 1, 2))
+        assert len(cell.values) == 3
+        assert all(0.0 <= v <= 1.0 for v in cell.values)
+
+    def test_supervised_same_dataset_is_stable(self):
+        cell = evaluate_across_seeds("A14", "F0", seeds=(0, 1, 2))
+        assert cell.std < 0.1  # splits move, quality should not collapse
+        assert cell.mean > 0.9
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_across_seeds("A14", "F0", seeds=())
+
+
+class TestSignificance:
+    def test_clear_separation(self):
+        strong = SeedRobustness("A", "F0", "F0", "precision",
+                                (0.95, 0.96, 0.97))
+        weak = SeedRobustness("B", "F0", "F0", "precision",
+                              (0.50, 0.52, 0.48))
+        assert significantly_better(strong, weak)
+        assert not significantly_better(weak, strong)
+
+    def test_overlapping_distributions(self):
+        a = SeedRobustness("A", "F0", "F0", "precision", (0.90, 0.80, 0.85))
+        b = SeedRobustness("B", "F0", "F0", "precision", (0.88, 0.82, 0.84))
+        assert not significantly_better(a, b)
+
+    def test_zero_variance_falls_back_to_means(self):
+        a = SeedRobustness("A", "F0", "F0", "precision", (0.9,))
+        b = SeedRobustness("B", "F0", "F0", "precision", (0.8,))
+        assert significantly_better(a, b)
+
+    def test_metric_mismatch_rejected(self):
+        a = SeedRobustness("A", "F0", "F0", "precision", (0.9,))
+        b = SeedRobustness("B", "F0", "F0", "recall", (0.8,))
+        with pytest.raises(ValueError):
+            significantly_better(a, b)

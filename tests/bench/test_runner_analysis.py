@@ -1,0 +1,128 @@
+"""Integration tests: the bench runner and the figure analyses."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BenchmarkRunner,
+    best_gap_by_algorithm,
+    distribution_by_algorithm,
+    evaluate_cross_dataset,
+    evaluate_same_dataset,
+    faithful_pairs,
+    per_attack_precision,
+    train_test_median_matrix,
+)
+from repro.bench.analysis import algorithms_below, asymmetry_pairs, no_single_best
+from repro.datasets import DATASETS
+from repro.flows import Granularity
+
+
+@pytest.fixture(scope="module")
+def small_matrix_store():
+    """A real (but small) evaluation matrix shared by analysis tests."""
+    runner = BenchmarkRunner(seed=0)
+    runner.run_matrix(["A10", "A13", "A14"], ["F0", "F1", "F4"])
+    return runner.store
+
+
+class TestFaithfulPairs:
+    def test_packet_algorithms_only_on_packet_datasets(self):
+        pairs = faithful_pairs(["A06"], None)
+        assert {d for _, d in pairs} == {"P0", "P1", "P2"}
+
+    def test_connection_algorithms_only_on_connection_datasets(self):
+        pairs = faithful_pairs(["A14"], None)
+        assert {d for _, d in pairs} == {f"F{i}" for i in range(10)}
+
+    def test_uni_flow_algorithm_gets_connection_datasets(self):
+        # the label-propagation direction is allowed
+        pairs = faithful_pairs(["A10"], None)
+        assert {d for _, d in pairs} == {f"F{i}" for i in range(10)}
+
+    def test_unfaithful_evaluation_rejected(self):
+        runner = BenchmarkRunner()
+        with pytest.raises(ValueError, match="unfaithful"):
+            runner.evaluate("A14", "P0", "P0")
+        with pytest.raises(ValueError, match="unfaithful"):
+            runner.evaluate("A06", "F0", "P0")
+
+
+class TestRunner:
+    def test_same_dataset_record(self):
+        result = evaluate_same_dataset("A14", "F0")
+        assert result.mode == "same"
+        assert result.n_train > result.n_test
+        assert 0.0 <= result.precision <= 1.0
+        assert result.per_attack  # Figure 5 breakdown recorded
+
+    def test_cross_dataset_record(self):
+        result = evaluate_cross_dataset("A14", "F0", "F1")
+        assert result.mode == "cross"
+        assert result.train_dataset == "F0"
+        assert result.test_dataset == "F1"
+
+    def test_deterministic(self):
+        a = evaluate_same_dataset("A14", "F0", seed=3)
+        b = evaluate_same_dataset("A14", "F0", seed=3)
+        assert a.precision == b.precision
+        assert a.recall == b.recall
+
+    def test_matrix_size(self, small_matrix_store):
+        # 3 algorithms x (3 same + 6 ordered cross pairs) = 27
+        assert len(small_matrix_store) == 27
+
+    def test_supervised_same_dataset_strong(self, small_matrix_store):
+        same = small_matrix_store.query(mode="same", algorithm="A14")
+        assert min(same.values("precision")) > 0.8
+
+
+class TestAnalyses:
+    def test_distributions_shapes(self, small_matrix_store):
+        box = distribution_by_algorithm(small_matrix_store, mode="same")
+        assert set(box.groups) == {"A10", "A13", "A14"}
+        assert all(len(v) == 3 for v in box.groups.values())
+
+    def test_cross_weaker_than_same(self, small_matrix_store):
+        same = distribution_by_algorithm(small_matrix_store, mode="same")
+        cross = distribution_by_algorithm(small_matrix_store, mode="cross")
+        for algorithm in same.groups:
+            assert np.median(cross.groups[algorithm]) <= (
+                np.median(same.groups[algorithm]) + 1e-9
+            )
+
+    def test_best_gap_nonnegative(self, small_matrix_store):
+        gaps = best_gap_by_algorithm(small_matrix_store)
+        for values in gaps.groups.values():
+            assert min(values) >= -1e-9
+
+    def test_median_matrix_diagonal_strongest(self, small_matrix_store):
+        matrix = train_test_median_matrix(small_matrix_store)
+        diagonal = np.nanmean(np.diag(matrix.values))
+        off = matrix.values[~np.eye(len(matrix.row_labels), dtype=bool)]
+        assert diagonal >= np.nanmean(off)
+
+    def test_per_attack_heatmap_labels(self, small_matrix_store):
+        heatmap = per_attack_precision(small_matrix_store)
+        assert set(heatmap.row_labels) == {"A10", "A13", "A14"}
+        expected_attacks = set()
+        for dataset_id in ("F0", "F1", "F4"):
+            expected_attacks |= set(DATASETS[dataset_id].attacks)
+        assert set(heatmap.col_labels) <= expected_attacks
+
+    def test_algorithms_below_threshold(self, small_matrix_store):
+        dropped = algorithms_below(
+            small_matrix_store, threshold=0.2, mode="cross"
+        )
+        assert isinstance(dropped, list)
+
+    def test_no_single_best_types(self, small_matrix_store):
+        assert isinstance(no_single_best(small_matrix_store), bool)
+
+    def test_asymmetry_pairs_structure(self, small_matrix_store):
+        pairs = asymmetry_pairs(small_matrix_store, gap=0.0)
+        for train, test, forward, backward in pairs:
+            assert train in ("F0", "F1", "F4")
+            assert test in ("F0", "F1", "F4")
+            assert 0.0 <= forward <= 1.0
+            assert 0.0 <= backward <= 1.0

@@ -1,0 +1,39 @@
+"""Tests for the Section 5.2 validation module (quick scope)."""
+
+import pytest
+
+from repro.bench.validation import (
+    ValidationRow,
+    render_validation,
+    validation_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return validation_report(quick=True)
+
+
+class TestValidationReport:
+    def test_four_reference_points(self, report):
+        assert len(report) == 4
+
+    def test_measured_values_are_probabilities(self, report):
+        for row in report:
+            assert 0.0 <= row.measured <= 1.0
+
+    def test_supervised_rows_close_to_reported(self, report):
+        a10 = next(r for r in report if r.algorithm.startswith("A10"))
+        assert a10.measured > 0.85
+
+    def test_close_flag_semantics(self):
+        row = ValidationRow("x", "d", "precision", reported=0.9, measured=0.85)
+        assert row.close
+        far = ValidationRow("x", "d", "precision", reported=0.9, measured=0.5)
+        assert not far.close
+
+    def test_render_is_tabular(self, report):
+        text = render_validation(report)
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert "reported" in lines[0]

@@ -1,0 +1,20 @@
+"""Shared fixtures for framework tests: a small labelled trace."""
+
+import numpy as np
+import pytest
+
+from repro.net.table import PacketTable
+from repro.traffic import AttackSpec, NetworkScenario
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> PacketTable:
+    """A small mixed trace with one attack, generated once per session."""
+    scenario = NetworkScenario(
+        name="unit-test",
+        device_counts={"workstation": 2, "thermostat": 1, "camera": 1},
+        duration=60.0,
+        seed=99,
+        attacks=(AttackSpec("port_scan", 0.4, 0.7, intensity=0.2),),
+    )
+    return scenario.generate()

@@ -1,0 +1,241 @@
+"""Tests for the execution engine: caching, profiling, DCE, parallel."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionEngine, Pipeline, PipelineError
+from repro.core.engine import fingerprint_table
+
+
+TEMPLATE = [
+    {"func": "Groupby", "input": None, "output": "flows",
+     "flowid": ["connection"]},
+    {"func": "ApplyAggregates", "input": ["flows"], "output": "X",
+     "list": ["count", "duration", "mean:length"]},
+    {"func": "Labels", "input": ["flows"], "output": "y"},
+]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    ExecutionEngine.shared_cache.clear()
+    yield
+    ExecutionEngine.shared_cache.clear()
+
+
+class TestExecution:
+    def test_returns_requested_outputs(self, small_trace):
+        engine = ExecutionEngine(track_memory=False)
+        out = engine.run(
+            Pipeline.from_template(TEMPLATE), small_trace, outputs=["X", "y"]
+        )
+        assert set(out) == {"X", "y"}
+        assert len(out["X"]) == len(out["y"])
+
+    def test_default_output_is_last_step(self, small_trace):
+        engine = ExecutionEngine(track_memory=False)
+        out = engine.run(Pipeline.from_template(TEMPLATE), small_trace)
+        assert set(out) == {"y"}
+
+    def test_missing_output_raises(self, small_trace):
+        engine = ExecutionEngine(track_memory=False)
+        with pytest.raises(KeyError):
+            engine.run(
+                Pipeline.from_template(TEMPLATE), small_trace,
+                outputs=["nonexistent"],
+            )
+
+    def test_operation_failure_wrapped(self, small_trace):
+        template = TEMPLATE[:1] + [
+            {"func": "ApplyAggregates", "input": ["flows"], "output": "X",
+             "list": ["bogus:length"]},
+        ]
+        engine = ExecutionEngine(track_memory=False)
+        with pytest.raises(PipelineError) as info:
+            engine.run(Pipeline.from_template(template), small_trace)
+        assert info.value.operation == "ApplyAggregates"
+        assert info.value.step == 1
+
+
+class TestCaching:
+    def test_second_run_hits_cache(self, small_trace):
+        engine = ExecutionEngine(track_memory=False)
+        pipeline = Pipeline.from_template(TEMPLATE)
+        engine.run(pipeline, small_trace, source_token="t")
+        engine.run(pipeline, small_trace, source_token="t")
+        cached = [p.cached for p in engine.last_report.profiles]
+        assert all(cached)
+
+    def test_prefix_shared_across_templates(self, small_trace):
+        # Two different algorithms sharing a Groupby pay for it once.
+        engine = ExecutionEngine(track_memory=False)
+        other = TEMPLATE[:1] + [
+            {"func": "FirstNPackets", "input": ["flows"], "output": "X",
+             "n": 4},
+        ]
+        engine.run(Pipeline.from_template(TEMPLATE), small_trace, source_token="t")
+        engine.run(Pipeline.from_template(other), small_trace, source_token="t")
+        profiles = {p.operation: p.cached for p in engine.last_report.profiles}
+        assert profiles["Groupby"] is True
+        assert profiles["FirstNPackets"] is False
+
+    def test_different_params_not_shared(self, small_trace):
+        engine = ExecutionEngine(track_memory=False)
+        variant = [dict(TEMPLATE[0], flowid=["5tuple"])] + TEMPLATE[1:]
+        engine.run(Pipeline.from_template(TEMPLATE), small_trace, source_token="t")
+        engine.run(Pipeline.from_template(variant), small_trace, source_token="t")
+        profiles = {p.operation: p.cached for p in engine.last_report.profiles}
+        assert profiles["Groupby"] is False
+
+    def test_different_sources_not_shared(self, small_trace):
+        engine = ExecutionEngine(track_memory=False)
+        pipeline = Pipeline.from_template(TEMPLATE)
+        engine.run(pipeline, small_trace, source_token="a")
+        engine.run(pipeline, small_trace, source_token="b")
+        assert not any(p.cached for p in engine.last_report.profiles)
+
+    def test_cache_disabled(self, small_trace):
+        engine = ExecutionEngine(use_cache=False, track_memory=False)
+        pipeline = Pipeline.from_template(TEMPLATE)
+        engine.run(pipeline, small_trace, source_token="t")
+        engine.run(pipeline, small_trace, source_token="t")
+        assert not any(p.cached for p in engine.last_report.profiles)
+
+    def test_cached_results_identical(self, small_trace):
+        engine = ExecutionEngine(track_memory=False)
+        pipeline = Pipeline.from_template(TEMPLATE)
+        first = engine.run(pipeline, small_trace, outputs=["X"], source_token="t")
+        second = engine.run(pipeline, small_trace, outputs=["X"], source_token="t")
+        assert np.array_equal(first["X"], second["X"])
+
+    def test_fingerprint_stable_and_sensitive(self, small_trace):
+        a = fingerprint_table(small_trace)
+        assert a == fingerprint_table(small_trace)
+        mutated = small_trace.select(np.arange(len(small_trace) - 1))
+        assert fingerprint_table(mutated) != a
+
+    def test_cache_bounded(self, small_trace):
+        cache = ExecutionEngine.shared_cache
+        cache.max_entries = 4
+        try:
+            engine = ExecutionEngine(track_memory=False)
+            pipeline = Pipeline.from_template(TEMPLATE)
+            for i in range(5):
+                engine.run(pipeline, small_trace, source_token=f"t{i}")
+            assert len(cache) <= 4
+        finally:
+            cache.max_entries = 256
+
+
+class TestProfilingAndMemory:
+    def test_profile_covers_every_step(self, small_trace):
+        engine = ExecutionEngine(use_cache=False, track_memory=True)
+        engine.run(Pipeline.from_template(TEMPLATE), small_trace)
+        assert len(engine.last_report.profiles) == len(TEMPLATE)
+        assert engine.last_report.total_seconds > 0
+
+    def test_memory_tracked(self, small_trace):
+        engine = ExecutionEngine(use_cache=False, track_memory=True)
+        engine.run(Pipeline.from_template(TEMPLATE), small_trace)
+        assert engine.last_report.peak_memory_bytes > 0
+
+    def test_hotspots_sorted(self, small_trace):
+        engine = ExecutionEngine(use_cache=False, track_memory=False)
+        engine.run(Pipeline.from_template(TEMPLATE), small_trace)
+        hotspots = engine.last_report.hotspots(top=2)
+        assert len(hotspots) == 2
+        assert hotspots[0].wall_seconds >= hotspots[1].wall_seconds
+
+    def test_render_contains_operations(self, small_trace):
+        engine = ExecutionEngine(use_cache=False, track_memory=False)
+        engine.run(Pipeline.from_template(TEMPLATE), small_trace)
+        rendered = engine.last_report.render()
+        assert "Groupby" in rendered
+        assert "total:" in rendered
+
+    def test_dead_values_dropped(self, small_trace):
+        # 'flows' is last used at step 2; only the requested outputs
+        # should survive; intermediate flows must have been freed.
+        engine = ExecutionEngine(use_cache=False, track_memory=False)
+        out = engine.run(
+            Pipeline.from_template(TEMPLATE), small_trace, outputs=["y"]
+        )
+        assert set(out) == {"y"}
+
+
+class TestParallelExecution:
+    def test_parallel_matches_serial(self, small_trace):
+        template = [
+            {"func": "Groupby", "input": None, "output": "flows",
+             "flowid": ["connection"]},
+            # these three are independent given 'flows'
+            {"func": "ApplyAggregates", "input": ["flows"], "output": "A",
+             "list": ["count", "duration"]},
+            {"func": "FirstNPackets", "input": ["flows"], "output": "B",
+             "n": 3},
+            {"func": "ZeekConnLog", "input": ["flows"], "output": "C"},
+            {"func": "ConcatFeatures", "input": ["A", "B"], "output": "AB"},
+            {"func": "ConcatFeatures", "input": ["AB", "C"], "output": "X"},
+        ]
+        serial = ExecutionEngine(use_cache=False, track_memory=False).run(
+            Pipeline.from_template(template), small_trace, outputs=["X"]
+        )
+        parallel = ExecutionEngine(
+            use_cache=False, parallel=True, track_memory=False
+        ).run(Pipeline.from_template(template), small_trace, outputs=["X"])
+        assert np.array_equal(serial["X"], parallel["X"])
+
+
+class TestDiskCache:
+    def test_arrays_survive_a_fresh_cache(self, small_trace, tmp_path):
+        from repro.core.engine import _ResultCache
+
+        pipeline = Pipeline.from_template(TEMPLATE)
+        first_cache = _ResultCache(disk_dir=str(tmp_path))
+        engine = ExecutionEngine(track_memory=False)
+        old_cache = ExecutionEngine.shared_cache
+        try:
+            ExecutionEngine.shared_cache = first_cache
+            first = engine.run(pipeline, small_trace, outputs=["X"],
+                               source_token="t")
+            # simulate a new process: fresh in-memory cache, same dir
+            ExecutionEngine.shared_cache = _ResultCache(disk_dir=str(tmp_path))
+            second = engine.run(pipeline, small_trace, outputs=["X"],
+                                source_token="t")
+            assert ExecutionEngine.shared_cache.disk_hits >= 1
+            assert np.array_equal(first["X"], second["X"])
+        finally:
+            ExecutionEngine.shared_cache = old_cache
+
+    def test_disk_files_are_arrays_only(self, small_trace, tmp_path):
+        from repro.core.engine import _ResultCache
+
+        old_cache = ExecutionEngine.shared_cache
+        try:
+            ExecutionEngine.shared_cache = _ResultCache(disk_dir=str(tmp_path))
+            engine = ExecutionEngine(track_memory=False)
+            engine.run(Pipeline.from_template(TEMPLATE), small_trace,
+                       outputs=["X"], source_token="t")
+            files = list(tmp_path.glob("*.npz"))
+            # X and y persist; the FlowTable intermediate does not
+            assert 1 <= len(files) <= 3
+        finally:
+            ExecutionEngine.shared_cache = old_cache
+
+    def test_corrupt_disk_entry_is_ignored(self, small_trace, tmp_path):
+        from repro.core.engine import _ResultCache
+
+        old_cache = ExecutionEngine.shared_cache
+        try:
+            ExecutionEngine.shared_cache = _ResultCache(disk_dir=str(tmp_path))
+            engine = ExecutionEngine(track_memory=False)
+            pipeline = Pipeline.from_template(TEMPLATE)
+            engine.run(pipeline, small_trace, outputs=["X"], source_token="t")
+            for path in tmp_path.glob("*.npz"):
+                path.write_bytes(b"not a real npz file")
+            ExecutionEngine.shared_cache = _ResultCache(disk_dir=str(tmp_path))
+            out = engine.run(pipeline, small_trace, outputs=["X"],
+                             source_token="t")
+            assert len(out["X"]) > 0  # recomputed, no crash
+        finally:
+            ExecutionEngine.shared_cache = old_cache

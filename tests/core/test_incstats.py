@@ -1,0 +1,124 @@
+"""Tests for damped incremental statistics (Kitsune substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incstats import (
+    IncStat,
+    damped_group_stats,
+    damped_interarrival_stats,
+    group_ids_from_columns,
+    kitsune_packet_features,
+)
+
+
+class TestIncStat:
+    def test_single_update(self):
+        stat = IncStat(lam=1.0)
+        stat.update(0.0, 5.0)
+        assert stat.w == 1.0
+        assert stat.mean == 5.0
+        assert stat.std == 0.0
+
+    def test_no_decay_at_same_instant(self):
+        stat = IncStat(lam=1.0)
+        stat.update(0.0, 2.0)
+        stat.update(0.0, 4.0)
+        assert stat.w == pytest.approx(2.0)
+        assert stat.mean == pytest.approx(3.0)
+
+    def test_decay_halves_weight_per_unit_time(self):
+        stat = IncStat(lam=1.0)
+        stat.update(0.0, 10.0)
+        stat.update(1.0, 10.0)  # old weight decayed to 0.5
+        assert stat.w == pytest.approx(1.5)
+
+    def test_old_values_fade(self):
+        stat = IncStat(lam=1.0)
+        stat.update(0.0, 100.0)
+        stat.update(50.0, 1.0)  # the 100 has decayed to nothing
+        assert stat.mean == pytest.approx(1.0, abs=1e-9)
+
+    def test_std_of_constant_stream_is_zero(self):
+        stat = IncStat(lam=0.1)
+        for t in range(10):
+            stat.update(float(t), 7.0)
+        # damped sums accumulate tiny float error; std must stay ~0
+        assert stat.std == pytest.approx(0.0, abs=1e-5)
+
+    @given(st.lists(st.floats(0, 1000), min_size=1, max_size=30))
+    @settings(max_examples=30)
+    def test_weight_bounded_by_count(self, values):
+        stat = IncStat(lam=0.5)
+        for i, value in enumerate(values):
+            stat.update(float(i), value)
+        assert 0 < stat.w <= len(values) + 1e-9
+
+
+class TestGroupStats:
+    def test_groups_are_independent(self):
+        ids = np.array([0, 1, 0, 1])
+        ts = np.array([0.0, 0.0, 0.0, 0.0])
+        values = np.array([10.0, 99.0, 10.0, 99.0])
+        out = damped_group_stats(ids, ts, values, lam=1.0)
+        assert out[2, 1] == pytest.approx(10.0)  # group 0 mean
+        assert out[3, 1] == pytest.approx(99.0)  # group 1 mean
+
+    def test_weight_column_counts_within_group(self):
+        ids = np.array([0, 0, 0])
+        ts = np.zeros(3)
+        values = np.ones(3)
+        out = damped_group_stats(ids, ts, values, lam=1.0)
+        assert out[:, 0].tolist() == [1.0, 2.0, 3.0]
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            damped_group_stats(np.zeros(3, dtype=int), np.zeros(2), np.zeros(3), 1.0)
+
+    def test_interarrival_first_packet_zero_gap(self):
+        ids = np.array([0, 0])
+        ts = np.array([5.0, 7.0])
+        out = damped_interarrival_stats(ids, ts, lam=0.1)
+        assert out[0, 1] == pytest.approx(0.0)  # first gap is 0
+        assert out[1, 1] > 0.0
+
+
+class TestGroupIds:
+    def test_same_combination_same_id(self):
+        a = np.array([1, 1, 2])
+        b = np.array([7, 7, 7])
+        ids = group_ids_from_columns([a, b])
+        assert ids[0] == ids[1]
+        assert ids[0] != ids[2]
+
+    def test_empty(self):
+        assert len(group_ids_from_columns([np.array([])])) == 0
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            group_ids_from_columns([])
+
+
+class TestKitsuneFeatures:
+    def test_shape(self, small_trace):
+        sample = small_trace.select(np.arange(300))
+        features = kitsune_packet_features(sample, lambdas=(1.0, 0.1))
+        assert features.shape == (300, 2 * 4 * 3)
+        assert np.isfinite(features).all()
+
+    def test_flood_inflates_source_weight(self):
+        from repro.traffic.builder import TraceBuilder
+
+        builder = TraceBuilder()
+        # one quiet host, one flooding host
+        for i in range(50):
+            builder.add_tcp(i * 1.0, 1, 2, 1000, 80, 100)
+        for i in range(50):
+            builder.add_tcp(40.0 + i * 0.001, 9, 2, 2000, 80, 100)
+        table = builder.build()
+        features = kitsune_packet_features(table, lambdas=(1.0,))
+        flood_rows = table.src_ip == 9
+        # damped per-source weight (column 0) much higher for the flooder
+        assert features[flood_rows, 0].max() > features[~flood_rows, 0].max() * 3

@@ -1,0 +1,435 @@
+"""Behavioural tests for the operation library."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionEngine, Pipeline, PipelineError, TemplateError
+from repro.core.operations import OPERATIONS
+from repro.flows import Granularity, assemble_connections, assemble_unidirectional
+
+
+def run_ops(trace, template, outputs=None, **engine_kwargs):
+    engine = ExecutionEngine(use_cache=False, track_memory=False, **engine_kwargs)
+    pipeline = Pipeline.from_template(template)
+    return engine.run(pipeline, trace, outputs=outputs)
+
+
+class TestPacketOps:
+    def test_filter_packets_tcp(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [{"func": "FilterPackets", "input": None, "output": "tcp",
+              "keep": "tcp"}],
+        )
+        assert (out["tcp"].proto == 6).all()
+
+    def test_filter_unknown_predicate(self, small_trace):
+        with pytest.raises(PipelineError):
+            run_ops(
+                small_trace,
+                [{"func": "FilterPackets", "input": None, "output": "x",
+                  "keep": "carrier_pigeon"}],
+            )
+
+    def test_downsample_caps_size(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [{"func": "Downsample", "input": None, "output": "small",
+              "max_packets": 100}],
+        )
+        assert len(out["small"]) == 100
+
+    def test_downsample_noop_when_small(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [{"func": "Downsample", "input": None, "output": "same",
+              "max_packets": 10_000_000}],
+        )
+        assert len(out["same"]) == len(small_trace)
+
+    def test_field_extract_rejects_unknown_field(self, small_trace):
+        with pytest.raises(PipelineError):
+            run_ops(
+                small_trace,
+                [{"func": "FieldExtract", "input": None, "output": "x",
+                  "param": ["warp_factor"]}],
+            )
+
+    def test_packet_fields_shape_and_alias(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [{"func": "PacketFields", "input": None, "output": "X",
+              "fields": ["packetLength", "ttl", "srcPort"]}],
+        )
+        assert out["X"].shape == (len(small_trace), 3)
+        assert np.array_equal(out["X"][:, 0], small_trace.length)
+
+    def test_protocol_one_hot_rows(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [{"func": "ProtocolOneHot", "input": None, "output": "X"}],
+        )
+        # every IP packet is exactly one of tcp/udp/icmp here
+        assert set(out["X"].sum(axis=1)) <= {0.0, 1.0}
+
+
+class TestGroupingOps:
+    def test_groupby_connection_matches_assembler(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [{"func": "Groupby", "input": None, "output": "flows",
+              "flowid": ["connection"]}],
+        )
+        direct = assemble_connections(small_trace)
+        assert len(out["flows"]) == len(direct)
+        assert out["flows"].granularity == Granularity.CONNECTION
+
+    def test_groupby_5tuple(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [{"func": "Groupby", "input": None, "output": "flows",
+              "flowid": ["5tuple"]}],
+        )
+        assert len(out["flows"]) == len(assemble_unidirectional(small_trace))
+
+    def test_groupby_bad_flowid(self, small_trace):
+        with pytest.raises(PipelineError):
+            run_ops(
+                small_trace,
+                [{"func": "Groupby", "input": None, "output": "flows",
+                  "flowid": ["quantum"]}],
+            )
+
+    def test_time_slice_splits_long_flows(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "Groupby", "input": None, "output": "flows",
+                 "flowid": ["connection"]},
+                {"func": "TimeSlice", "input": ["flows"], "output": "sliced",
+                 "window": 5.0},
+            ],
+            outputs=["flows", "sliced"],
+        )
+        flows, sliced = out["flows"], out["sliced"]
+        assert len(sliced) >= len(flows)
+        assert sliced.counts.sum() == flows.counts.sum()
+        # no window spans more than 5 seconds
+        assert (sliced.durations <= 5.0 + 1e-9).all()
+
+    def test_time_slice_rejects_nonpositive_window(self, small_trace):
+        with pytest.raises(PipelineError):
+            run_ops(
+                small_trace,
+                [
+                    {"func": "Groupby", "input": None, "output": "flows",
+                     "flowid": ["connection"]},
+                    {"func": "TimeSlice", "input": ["flows"], "output": "s",
+                     "window": 0.0},
+                ],
+            )
+
+
+class TestAggregateOps:
+    TEMPLATE = [
+        {"func": "Groupby", "input": None, "output": "flows",
+         "flowid": ["connection"]},
+    ]
+
+    def agg(self, trace, specs):
+        template = self.TEMPLATE + [
+            {"func": "ApplyAggregates", "input": ["flows"], "output": "X",
+             "list": specs},
+        ]
+        out = run_ops(trace, template, outputs=["flows", "X"])
+        return out["flows"], out["X"]
+
+    def test_count_matches_flow_counts(self, small_trace):
+        flows, X = self.agg(small_trace, ["count"])
+        assert np.array_equal(X[:, 0], flows.counts)
+
+    def test_mean_length_manual_check(self, small_trace):
+        flows, X = self.agg(small_trace, ["mean:length"])
+        for i in (0, len(flows) // 2, len(flows) - 1):
+            manual = small_trace.length[flows.packet_indices(i)].mean()
+            assert X[i, 0] == pytest.approx(manual)
+
+    def test_median_manual_check(self, small_trace):
+        flows, X = self.agg(small_trace, ["median:length"])
+        for i in (0, len(flows) - 1):
+            manual = np.median(small_trace.length[flows.packet_indices(i)])
+            assert X[i, 0] == pytest.approx(manual)
+
+    def test_entropy_single_value_is_zero(self, small_trace):
+        flows, X = self.agg(small_trace, ["entropy:proto"])
+        single_proto = [
+            i
+            for i in range(len(flows))
+            if len(set(small_trace.proto[flows.packet_indices(i)])) == 1
+        ]
+        assert single_proto
+        assert np.allclose(X[single_proto, 0], 0.0)
+
+    def test_nunique_bounded_by_count(self, small_trace):
+        flows, X = self.agg(small_trace, ["nunique:dst_port", "count"])
+        assert (X[:, 0] <= X[:, 1]).all()
+        assert (X[:, 0] >= 1).all()
+
+    def test_flag_frac_in_unit_interval(self, small_trace):
+        _, X = self.agg(small_trace, ["flag_frac:SYN", "flag_frac:ACK"])
+        assert (X >= 0).all() and (X <= 1).all()
+
+    def test_unknown_spec_rejected(self, small_trace):
+        with pytest.raises(PipelineError):
+            self.agg(small_trace, ["harmonic:length"])
+
+    def test_unknown_flag_rejected(self, small_trace):
+        with pytest.raises(PipelineError):
+            self.agg(small_trace, ["flag_frac:WARP"])
+
+    def test_empty_spec_list_rejected(self, small_trace):
+        with pytest.raises(PipelineError):
+            self.agg(small_trace, [])
+
+    def test_iat_mean_nonnegative(self, small_trace):
+        _, X = self.agg(small_trace, ["iat_mean", "iat_std"])
+        assert (X >= 0).all()
+
+    def test_frac_fwd_for_connections(self, small_trace):
+        _, X = self.agg(small_trace, ["frac_fwd"])
+        assert (X > 0).all()  # the initiator always sent >= 1 packet
+        assert (X <= 1).all()
+
+
+class TestFeatureOps:
+    def test_first_n_packets_shape(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "Groupby", "input": None, "output": "flows",
+                 "flowid": ["connection"]},
+                {"func": "FirstNPackets", "input": ["flows"], "output": "X",
+                 "n": 6},
+            ],
+        )
+        flows_count = len(assemble_connections(small_trace))
+        assert out["X"].shape == (flows_count, 18)  # sizes + iat + dir
+
+    def test_first_n_padding_is_zero(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "Groupby", "input": None, "output": "flows",
+                 "flowid": ["connection"]},
+                {"func": "FirstNPackets", "input": ["flows"], "output": "X",
+                 "n": 200, "include_iat": False, "include_direction": False},
+            ],
+            outputs=["flows", "X"],
+        )
+        flows, X = out["flows"], out["X"]
+        short = int(np.argmin(flows.counts))
+        count = flows.counts[short]
+        assert (X[short, count:] == 0).all()
+
+    def test_zeek_conn_log_columns(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "Groupby", "input": None, "output": "flows",
+                 "flowid": ["connection"]},
+                {"func": "ZeekConnLog", "input": ["flows"], "output": "X"},
+            ],
+            outputs=["flows", "X"],
+        )
+        flows, X = out["flows"], out["X"]
+        assert X.shape == (len(flows), 12)
+        # orig + resp packets add up to the flow packet count
+        assert np.allclose(X[:, 1] + X[:, 2], flows.counts)
+
+    def test_flow_discriminators_finite(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "Groupby", "input": None, "output": "flows",
+                 "flowid": ["connection"]},
+                {"func": "FlowDiscriminators", "input": ["flows"],
+                 "output": "X"},
+            ],
+        )
+        assert np.isfinite(out["X"]).all()
+        assert out["X"].shape[1] >= 30
+
+    def test_nprint_encode_is_binary(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [{"func": "NprintEncode", "input": None, "output": "X",
+              "layers": ["ipv4", "tcp"]}],
+        )
+        X = out["X"]
+        assert set(np.unique(X)) <= {0.0, 1.0}
+        assert X.shape[1] > 100
+
+    def test_nprint_unknown_layer(self, small_trace):
+        with pytest.raises(PipelineError):
+            run_ops(
+                small_trace,
+                [{"func": "NprintEncode", "input": None, "output": "X",
+                  "layers": ["ipx"]}],
+            )
+
+    def test_concat_features(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "PacketFields", "input": None, "output": "A",
+                 "fields": ["length"]},
+                {"func": "ProtocolOneHot", "input": None, "output": "B"},
+                {"func": "ConcatFeatures", "input": ["A", "B"], "output": "X"},
+            ],
+        )
+        assert out["X"].shape == (len(small_trace), 5)
+
+    def test_select_columns(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "PacketFields", "input": None, "output": "A",
+                 "fields": ["length", "ttl", "src_port"]},
+                {"func": "SelectColumns", "input": ["A"], "output": "X",
+                 "indices": [2, 0]},
+            ],
+        )
+        assert np.array_equal(out["X"][:, 1], small_trace.length)
+
+    def test_select_columns_out_of_range(self, small_trace):
+        with pytest.raises(PipelineError):
+            run_ops(
+                small_trace,
+                [
+                    {"func": "PacketFields", "input": None, "output": "A",
+                     "fields": ["length"]},
+                    {"func": "SelectColumns", "input": ["A"], "output": "X",
+                     "indices": [5]},
+                ],
+            )
+
+    def test_labels_from_packets_and_flows(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "Labels", "input": None, "output": "packet_y"},
+                {"func": "Groupby", "input": None, "output": "flows",
+                 "flowid": ["connection"]},
+                {"func": "Labels", "input": ["flows"], "output": "flow_y"},
+            ],
+            outputs=["packet_y", "flow_y", "flows"],
+        )
+        assert len(out["packet_y"]) == len(small_trace)
+        assert len(out["flow_y"]) == len(out["flows"])
+        assert out["packet_y"].sum() > 0
+
+    def test_kitsune_features_shape(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "Downsample", "input": None, "output": "small",
+                 "max_packets": 500},
+                {"func": "KitsuneFeatures", "input": ["small"], "output": "X",
+                 "lambdas": [1.0, 0.01]},
+            ],
+        )
+        assert out["X"].shape == (500, 2 * 4 * 3)
+        assert np.isfinite(out["X"]).all()
+
+    def test_normalize_standard(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "PacketFields", "input": None, "output": "A",
+                 "fields": ["length", "ttl"]},
+                {"func": "Normalize", "input": ["A"], "output": "X"},
+            ],
+        )
+        assert np.allclose(out["X"].mean(axis=0), 0.0, atol=1e-9)
+
+
+class TestModelOps:
+    def test_end_to_end_train_eval(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "Groupby", "input": None, "output": "flows",
+                 "flowid": ["connection"]},
+                {"func": "ApplyAggregates", "input": ["flows"], "output": "X",
+                 "list": ["count", "duration", "mean:length", "nunique:dst_port",
+                          "flag_frac:SYN"]},
+                {"func": "Labels", "input": ["flows"], "output": "y"},
+                {"func": "model", "model_type": "DecisionTree", "input": None,
+                 "output": "clf"},
+                {"func": "train", "input": ["clf", "X", "y"], "output": "fit"},
+                {"func": "predict", "input": ["fit", "X"], "output": "pred"},
+                {"func": "evaluate", "input": ["pred", "y"], "output": "m"},
+            ],
+        )
+        assert out["m"]["precision"] > 0.9  # training-set fit
+
+    def test_unknown_model_type(self, small_trace):
+        with pytest.raises(PipelineError):
+            run_ops(
+                small_trace,
+                [{"func": "model", "model_type": "QuantumForest",
+                  "input": None, "output": "clf"}],
+            )
+
+    def test_train_does_not_mutate_prototype(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "Groupby", "input": None, "output": "flows",
+                 "flowid": ["connection"]},
+                {"func": "ApplyAggregates", "input": ["flows"], "output": "X",
+                 "list": ["count"]},
+                {"func": "Labels", "input": ["flows"], "output": "y"},
+                {"func": "model", "model_type": "DecisionTree", "input": None,
+                 "output": "clf"},
+                {"func": "train", "input": ["clf", "X", "y"], "output": "fit"},
+            ],
+            outputs=["clf", "fit"],
+        )
+        assert not hasattr(out["clf"], "nodes_")
+        assert hasattr(out["fit"], "nodes_")
+
+    def test_scaler_wrapper(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "model", "model_type": "KNN", "input": None,
+                 "output": "clf"},
+                {"func": "WithScaler", "input": ["clf"], "output": "scaled"},
+            ],
+            outputs=["scaled"],
+        )
+        from repro.ml.pipeline_model import TransformedClassifier
+
+        assert isinstance(out["scaled"], TransformedClassifier)
+
+
+class TestPropagateLabels:
+    def test_round_trips_flow_labels_to_packets(self, small_trace):
+        out = run_ops(
+            small_trace,
+            [
+                {"func": "Groupby", "input": None, "output": "flows",
+                 "flowid": ["connection"]},
+                {"func": "PropagateLabels", "input": ["flows"],
+                 "output": "packet_y"},
+            ],
+            outputs=["flows", "packet_y"],
+        )
+        flows, packet_y = out["flows"], out["packet_y"]
+        assert len(packet_y) == len(small_trace)
+        # every packet of a malicious flow is labelled malicious
+        for i in np.flatnonzero(flows.labels == 1)[:20]:
+            assert (packet_y[flows.packet_indices(i)] == 1).all()
+        # propagated labels dominate the raw per-packet labels
+        assert (packet_y >= small_trace.label).all()

@@ -1,0 +1,144 @@
+"""Tests for template parsing and static validation."""
+
+import pytest
+
+from repro.core import OPERATIONS, Pipeline, TemplateError
+from repro.core.pipeline import SOURCE_NAME
+
+
+def minimal_template():
+    return [
+        {"func": "Groupby", "input": None, "output": "flows",
+         "flowid": ["connection"]},
+        {"func": "ApplyAggregates", "input": ["flows"], "output": "X",
+         "list": ["count", "duration"]},
+    ]
+
+
+class TestParsing:
+    def test_minimal_template_parses(self):
+        pipeline = Pipeline.from_template(minimal_template())
+        assert len(pipeline.calls) == 2
+        assert pipeline.output_name == "X"
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(TemplateError):
+            Pipeline.from_template([])
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(TemplateError, match="unknown operation"):
+            Pipeline.from_template(
+                [{"func": "Explode", "input": None, "output": "x"}]
+            )
+
+    def test_missing_func_rejected(self):
+        with pytest.raises(TemplateError, match="no 'func'"):
+            Pipeline.from_template([{"input": None, "output": "x"}])
+
+    def test_missing_output_rejected(self):
+        with pytest.raises(TemplateError, match="no 'output'"):
+            Pipeline.from_template(
+                [{"func": "Groupby", "input": None, "flowid": ["5tuple"]}]
+            )
+
+    def test_missing_required_param_rejected(self):
+        with pytest.raises(TemplateError, match="missing required"):
+            Pipeline.from_template(
+                [{"func": "Groupby", "input": None, "output": "flows"}]
+            )
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(TemplateError, match="unknown parameters"):
+            Pipeline.from_template(
+                [
+                    {"func": "Groupby", "input": None, "output": "flows",
+                     "flowid": ["5tuple"], "bogus": 1}
+                ]
+            )
+
+    def test_param_alias_maps_to_first_required(self):
+        # the paper's templates say "param": [...fields...]
+        pipeline = Pipeline.from_template(
+            [
+                {"func": "FieldExtract", "input": None, "output": "pkts",
+                 "param": ["srcIP", "dstIP"]}
+            ]
+        )
+        assert pipeline.calls[0].params["fields"] == ["srcIP", "dstIP"]
+
+    def test_none_input_binds_to_source_for_packet_ops(self):
+        pipeline = Pipeline.from_template(minimal_template())
+        assert pipeline.calls[0].inputs == (SOURCE_NAME,)
+
+    def test_string_input_accepted(self):
+        template = minimal_template()
+        template[1]["input"] = "flows"
+        pipeline = Pipeline.from_template(template)
+        assert pipeline.calls[1].inputs == ("flows",)
+
+
+class TestDataflowValidation:
+    def test_undefined_input_rejected(self):
+        template = minimal_template()
+        template[1]["input"] = ["nonexistent"]
+        with pytest.raises(TemplateError, match="not defined"):
+            Pipeline.from_template(template)
+
+    def test_use_before_definition_rejected(self):
+        template = [
+            {"func": "ApplyAggregates", "input": ["flows"], "output": "X",
+             "list": ["count"]},
+            {"func": "Groupby", "input": None, "output": "flows",
+             "flowid": ["5tuple"]},
+        ]
+        with pytest.raises(TemplateError, match="not defined"):
+            Pipeline.from_template(template)
+
+    def test_type_mismatch_rejected(self):
+        # feeding a feature matrix into Groupby (wants packets)
+        template = [
+            {"func": "Groupby", "input": None, "output": "flows",
+             "flowid": ["5tuple"]},
+            {"func": "ApplyAggregates", "input": ["flows"], "output": "X",
+             "list": ["count"]},
+            {"func": "Groupby", "input": ["X"], "output": "bad",
+             "flowid": ["5tuple"]},
+        ]
+        with pytest.raises(TemplateError, match="type"):
+            Pipeline.from_template(template)
+
+    def test_wrong_arity_rejected(self):
+        template = [
+            {"func": "Groupby", "input": None, "output": "flows",
+             "flowid": ["5tuple"]},
+            {"func": "ApplyAggregates", "input": ["flows"], "output": "X",
+             "list": ["count"]},
+            {"func": "Labels", "input": ["flows"], "output": "y"},
+            # train wants (model, features, labels): give it two inputs
+            {"func": "train", "input": ["X", "y"], "output": "m"},
+        ]
+        with pytest.raises(TemplateError, match="input"):
+            Pipeline.from_template(template)
+
+    def test_consumers_tracks_last_use(self):
+        pipeline = Pipeline.from_template(minimal_template())
+        consumers = pipeline.consumers()
+        assert consumers["flows"] == 1
+        assert consumers[SOURCE_NAME] == 0
+
+
+class TestOperationRegistry:
+    def test_roughly_thirty_operations(self):
+        # the paper: "around 30 unique operations"
+        assert len(OPERATIONS) >= 25
+
+    def test_every_operation_documented(self):
+        for name, operation in OPERATIONS.items():
+            assert operation.description, f"{name} lacks a description"
+
+    def test_duplicate_registration_rejected(self):
+        from repro.core.operations import register_operation
+        from repro.core.types import ValueType
+
+        with pytest.raises(ValueError, match="twice"):
+            register_operation("Groupby", (), ValueType.ANY)(lambda i, p: None)

@@ -1,0 +1,75 @@
+"""Tests for template file I/O and the starter templates."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    ExecutionEngine,
+    STARTER_TEMPLATES,
+    TemplateError,
+    load_pipeline,
+    load_template,
+    save_template,
+    starter_template,
+)
+
+
+class TestStarters:
+    @pytest.mark.parametrize("name", sorted(STARTER_TEMPLATES))
+    def test_every_starter_validates(self, name):
+        from repro.core import Pipeline
+
+        Pipeline.from_template(starter_template(name))
+
+    def test_starter_is_a_copy(self):
+        template = starter_template("connection-rf")
+        template[0]["param"] = ["srcIP"]
+        assert STARTER_TEMPLATES["connection-rf"][0]["param"] != ["srcIP"]
+
+    def test_unknown_starter(self):
+        with pytest.raises(KeyError):
+            starter_template("quantum-ids")
+
+
+class TestFileRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        template = starter_template("connection-rf")
+        path = tmp_path / "algo.json"
+        save_template(template, path)
+        assert load_template(path) == template
+
+    def test_save_rejects_malformed(self, tmp_path):
+        broken = [{"func": "Explode", "input": None, "output": "x"}]
+        with pytest.raises(TemplateError):
+            save_template(broken, tmp_path / "x.json")
+        assert not (tmp_path / "x.json").exists()
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TemplateError, match="not valid JSON"):
+            load_template(path)
+
+    def test_load_rejects_non_array(self, tmp_path):
+        path = tmp_path / "obj.json"
+        path.write_text(json.dumps({"func": "Groupby"}))
+        with pytest.raises(TemplateError, match="JSON array"):
+            load_template(path)
+
+    def test_load_pipeline_validates(self, tmp_path):
+        path = tmp_path / "bad_ref.json"
+        path.write_text(json.dumps(
+            [{"func": "Labels", "input": ["nothing"], "output": "y"}]
+        ))
+        with pytest.raises(TemplateError, match="not defined"):
+            load_pipeline(path)
+
+    def test_loaded_template_runs(self, tmp_path, small_trace):
+        path = tmp_path / "run.json"
+        save_template(starter_template("connection-rf"), path)
+        pipeline = load_pipeline(path)
+        out = ExecutionEngine(use_cache=False, track_memory=False).run(
+            pipeline, small_trace, outputs=["metrics"]
+        )
+        assert 0.0 <= out["metrics"]["precision"] <= 1.0

@@ -1,0 +1,78 @@
+"""Tests for runtime value typing and profiling report helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiling import OperationProfile, ProfileReport
+from repro.core.types import ValueType, check_type, infer_type
+from repro.flows import assemble_connections
+from repro.ml import GaussianNB
+from repro.net.table import PacketTable
+
+
+class TestInferType:
+    def test_packets(self):
+        assert infer_type(PacketTable.empty(3)) is ValueType.PACKETS
+
+    def test_flows(self):
+        flows = assemble_connections(PacketTable.empty(0))
+        assert infer_type(flows) is ValueType.FLOWS
+
+    def test_features_vs_labels(self):
+        assert infer_type(np.zeros((3, 2))) is ValueType.FEATURES
+        assert infer_type(np.zeros(3)) is ValueType.LABELS
+
+    def test_metrics(self):
+        assert infer_type({"precision": 1.0}) is ValueType.METRICS
+
+    def test_model(self):
+        assert infer_type(GaussianNB()) is ValueType.MODEL
+
+    def test_any(self):
+        assert infer_type("a string") is ValueType.ANY
+
+
+class TestCheckType:
+    def test_accepts_match(self):
+        check_type(np.zeros((2, 2)), ValueType.FEATURES, "here")
+
+    def test_any_accepts_everything(self):
+        check_type(object(), ValueType.ANY, "here")
+
+    def test_labels_predictions_interchangeable(self):
+        check_type(np.zeros(3), ValueType.PREDICTIONS, "here")
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="expected a flows"):
+            check_type(np.zeros((2, 2)), ValueType.FLOWS, "op")
+
+
+class TestProfileReport:
+    def make_report(self):
+        return ProfileReport(
+            [
+                OperationProfile(0, "Groupby", "flows", 0.5, 1000),
+                OperationProfile(1, "ApplyAggregates", "X", 0.1, 5000),
+                OperationProfile(2, "Labels", "y", 0.0, 10, cached=True),
+            ]
+        )
+
+    def test_totals(self):
+        report = self.make_report()
+        assert report.total_seconds == pytest.approx(0.6)
+        assert report.peak_memory_bytes == 5000
+
+    def test_hotspots_exclude_cached(self):
+        hotspots = self.make_report().hotspots(top=5)
+        assert [h.operation for h in hotspots] == ["Groupby", "ApplyAggregates"]
+
+    def test_empty_report(self):
+        report = ProfileReport()
+        assert report.total_seconds == 0.0
+        assert report.peak_memory_bytes == 0
+        assert report.hotspots() == []
+
+    def test_render_alignment(self):
+        text = self.make_report().render()
+        assert "Groupby" in text
+        assert "yes" in text  # the cached row

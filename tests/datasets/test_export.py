@@ -1,0 +1,61 @@
+"""Tests for dataset export/import (pcap + label CSV)."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.datasets.export import export_dataset, export_flows_csv, import_dataset
+from repro.flows import assemble_connections
+from repro.traffic import AttackSpec, NetworkScenario
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return NetworkScenario(
+        name="export-test",
+        device_counts={"thermostat": 1, "smart_hub": 1},
+        duration=45.0,
+        seed=55,
+        attacks=(AttackSpec("port_scan", 0.3, 0.6, intensity=0.05),),
+    ).generate()
+
+
+class TestExportImport:
+    def test_files_created(self, small_dataset, tmp_path):
+        pcap_path, labels_path = export_dataset(small_dataset, tmp_path, "D")
+        assert pcap_path.exists() and labels_path.exists()
+        assert pcap_path.name == "D.pcap"
+
+    def test_label_rows_align_with_packets(self, small_dataset, tmp_path):
+        _, labels_path = export_dataset(small_dataset, tmp_path, "D")
+        with open(labels_path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(small_dataset)
+        assert sum(int(r["label"]) for r in rows) == small_dataset.n_malicious
+
+    def test_round_trip_preserves_table(self, small_dataset, tmp_path):
+        pcap_path, labels_path = export_dataset(small_dataset, tmp_path, "D")
+        rebuilt = import_dataset(pcap_path, labels_path)
+        original = small_dataset.sort_by_time()
+        assert len(rebuilt) == len(original)
+        assert np.allclose(rebuilt.ts, original.ts, atol=1e-6)
+        # compare everything except the microsecond-quantised timestamps
+        rebuilt.columns["ts"] = original.ts
+        assert original.equals(rebuilt)
+
+    def test_import_rejects_misaligned_labels(self, small_dataset, tmp_path):
+        pcap_path, labels_path = export_dataset(small_dataset, tmp_path, "D")
+        lines = labels_path.read_text().splitlines()
+        labels_path.write_text("\n".join(lines[:-5]))
+        with pytest.raises(ValueError, match="rows"):
+            import_dataset(pcap_path, labels_path)
+
+    def test_flows_csv(self, small_dataset, tmp_path):
+        flows = assemble_connections(small_dataset)
+        path = export_flows_csv(flows, tmp_path / "conn.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(flows)
+        assert sum(int(r["label"]) for r in rows) == flows.n_malicious
+        assert all(int(r["packets"]) >= 1 for r in rows)

@@ -1,0 +1,215 @@
+"""Tests for flow/connection/pair assembly."""
+
+import numpy as np
+import pytest
+
+from repro.flows import (
+    Granularity,
+    assemble_connections,
+    assemble_flows,
+    assemble_pairs,
+    assemble_unidirectional,
+)
+from repro.net.headers import (
+    EthernetHeader,
+    IPv4Header,
+    TCPHeader,
+    UDPHeader,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+)
+from repro.net.packet import Packet
+from repro.net.table import PacketTable
+
+
+def tcp_packet(ts, src_ip, dst_ip, sport, dport, label=0, attack=""):
+    return Packet(
+        timestamp=ts,
+        layers=[
+            EthernetHeader(src_mac=1, dst_mac=2),
+            IPv4Header(src_ip=src_ip, dst_ip=dst_ip, protocol=IPPROTO_TCP, total_length=40),
+            TCPHeader(src_port=sport, dst_port=dport),
+        ],
+        label=label,
+        attack=attack,
+    )
+
+
+@pytest.fixture
+def two_way_session():
+    """A TCP session: client 10.0.0.1:4000 <-> server 10.0.0.2:80."""
+    client, server = 0x0A000001, 0x0A000002
+    packets = [
+        tcp_packet(0.0, client, server, 4000, 80),
+        tcp_packet(0.1, server, client, 80, 4000),
+        tcp_packet(0.2, client, server, 4000, 80),
+        tcp_packet(0.3, server, client, 80, 4000),
+        # a second, unrelated session
+        tcp_packet(1.0, client, server, 4001, 80, label=1, attack="scan"),
+        tcp_packet(1.1, server, client, 80, 4001, label=1, attack="scan"),
+    ]
+    return PacketTable.from_packets(packets)
+
+
+class TestUnidirectional:
+    def test_splits_directions(self, two_way_session):
+        flows = assemble_unidirectional(two_way_session)
+        # 2 directions x 2 sessions = 4 unidirectional flows
+        assert len(flows) == 4
+        assert flows.granularity == Granularity.UNI_FLOW
+
+    def test_counts_and_order(self, two_way_session):
+        flows = assemble_unidirectional(two_way_session)
+        assert sorted(flows.counts.tolist()) == [1, 1, 2, 2]
+        assert flows.counts.sum() == len(two_way_session)
+
+    def test_label_any_malicious(self, two_way_session):
+        flows = assemble_unidirectional(two_way_session)
+        assert flows.n_malicious == 2
+        malicious = np.flatnonzero(flows.labels == 1)
+        for i in malicious:
+            name = flows.packets.attacks[flows.attack_ids[i]]
+            assert name == "scan"
+
+    def test_timeout_splits_idle_flows(self):
+        packets = [
+            tcp_packet(t, 0x0A000001, 0x0A000002, 4000, 80)
+            for t in (0.0, 1.0, 5000.0, 5001.0)
+        ]
+        table = PacketTable.from_packets(packets)
+        flows = assemble_unidirectional(table, timeout=3600.0)
+        assert len(flows) == 2
+        assert flows.counts.tolist() == [2, 2]
+
+    def test_empty_table(self):
+        flows = assemble_unidirectional(PacketTable.empty())
+        assert len(flows) == 0
+
+    def test_key_columns_match_first_packet(self, two_way_session):
+        flows = assemble_unidirectional(two_way_session)
+        for i in range(len(flows)):
+            first = flows.packet_indices(i)[0]
+            assert flows.key_columns["src_ip"][i] == two_way_session.src_ip[first]
+            assert flows.key_columns["src_port"][i] == two_way_session.src_port[first]
+
+    def test_packets_within_flow_time_sorted(self, two_way_session):
+        flows = assemble_unidirectional(two_way_session)
+        for i in range(len(flows)):
+            ts = two_way_session.ts[flows.packet_indices(i)]
+            assert np.all(np.diff(ts) >= 0)
+
+
+class TestConnections:
+    def test_merges_directions(self, two_way_session):
+        connections = assemble_connections(two_way_session)
+        assert len(connections) == 2
+        assert connections.granularity == Granularity.CONNECTION
+        assert sorted(connections.counts.tolist()) == [2, 4]
+
+    def test_initiator_is_first_sender(self, two_way_session):
+        connections = assemble_connections(two_way_session)
+        for i in range(len(connections)):
+            assert connections.key_columns["src_ip"][i] == 0x0A000001
+            assert connections.key_columns["dst_port"][i] == 80
+
+    def test_forward_direction_flags(self, two_way_session):
+        connections = assemble_connections(two_way_session)
+        for i in range(len(connections)):
+            positions = connections.packet_positions(i)
+            indices = connections.packet_indices(i)
+            is_client = two_way_session.src_ip[indices] == 0x0A000001
+            assert np.array_equal(connections.forward[positions], is_client)
+
+    def test_protocols_not_merged(self):
+        packets = [
+            tcp_packet(0.0, 1, 2, 53, 53),
+            Packet(
+                timestamp=0.1,
+                layers=[
+                    EthernetHeader(src_mac=1, dst_mac=2),
+                    IPv4Header(src_ip=1, dst_ip=2, protocol=IPPROTO_UDP, total_length=28),
+                    UDPHeader(src_port=53, dst_port=53),
+                ],
+            ),
+        ]
+        connections = assemble_connections(PacketTable.from_packets(packets))
+        assert len(connections) == 2
+
+    def test_durations_and_bytes(self, two_way_session):
+        connections = assemble_connections(two_way_session)
+        long_one = int(np.argmax(connections.counts))
+        assert connections.durations[long_one] == pytest.approx(0.3)
+        assert connections.total_bytes[long_one] == 4 * 54
+
+
+class TestPairs:
+    def test_pair_grouping_is_directional(self, two_way_session):
+        pairs = assemble_pairs(two_way_session)
+        # (client -> server) and (server -> client) are separate pairs
+        assert len(pairs) == 2
+        assert pairs.granularity == Granularity.PAIR
+
+    def test_windowing_slices_pairs(self):
+        packets = [
+            tcp_packet(t, 0x0A000001, 0x0A000002, 4000, 80) for t in (0.0, 5.0, 15.0)
+        ]
+        pairs = assemble_pairs(PacketTable.from_packets(packets), window=10.0)
+        assert len(pairs) == 2
+        assert pairs.counts.tolist() == [2, 1]
+
+    def test_invalid_window(self, two_way_session):
+        with pytest.raises(ValueError):
+            assemble_pairs(two_way_session, window=0.0)
+
+
+class TestDispatchAndSelect:
+    def test_dispatch(self, two_way_session):
+        for granularity in (
+            Granularity.UNI_FLOW,
+            Granularity.CONNECTION,
+            Granularity.PAIR,
+        ):
+            flows = assemble_flows(two_way_session, granularity)
+            assert flows.granularity == granularity
+
+    def test_packet_dispatch_rejected(self, two_way_session):
+        with pytest.raises(ValueError):
+            assemble_flows(two_way_session, Granularity.PACKET)
+
+    def test_select_repacks_ranges(self, two_way_session):
+        flows = assemble_unidirectional(two_way_session)
+        malicious = flows.select(flows.labels == 1)
+        assert len(malicious) == 2
+        assert malicious.counts.sum() == 2
+        for i in range(len(malicious)):
+            indices = malicious.packet_indices(i)
+            assert (two_way_session.label[indices] == 1).all()
+
+    def test_select_with_index_array(self, two_way_session):
+        flows = assemble_unidirectional(two_way_session)
+        subset = flows.select(np.array([0, 2]))
+        assert len(subset) == 2
+
+    def test_reduce_unknown_raises(self, two_way_session):
+        flows = assemble_unidirectional(two_way_session)
+        with pytest.raises(ValueError):
+            flows.reduce(flows.segment("ts"), how="median")
+
+    def test_reduce_misaligned_raises(self, two_way_session):
+        flows = assemble_unidirectional(two_way_session)
+        with pytest.raises(ValueError):
+            flows.reduce(np.zeros(3), how="sum")
+
+    def test_reduce_mean_matches_manual(self, two_way_session):
+        flows = assemble_unidirectional(two_way_session)
+        lengths = flows.segment("length").astype(float)
+        means = flows.reduce(lengths, "mean")
+        for i in range(len(flows)):
+            manual = two_way_session.length[flows.packet_indices(i)].mean()
+            assert means[i] == pytest.approx(manual)
+
+    def test_summary(self, two_way_session):
+        summary = assemble_connections(two_way_session).summary()
+        assert summary["flows"] == 2
+        assert summary["malicious"] == 1
+        assert summary["attacks"] == ["scan"]

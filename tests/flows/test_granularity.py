@@ -1,0 +1,78 @@
+"""Tests for the faithfulness rule and label propagation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flows.granularity import Granularity, can_evaluate, propagate_labels
+
+P = Granularity.PACKET
+U = Granularity.UNI_FLOW
+C = Granularity.CONNECTION
+PAIR = Granularity.PAIR
+
+
+class TestFaithfulnessRule:
+    def test_same_granularity_always_allowed(self):
+        for granularity in Granularity:
+            assert can_evaluate(granularity, granularity)
+            assert can_evaluate(granularity, granularity, strict=False)
+
+    def test_packet_algorithm_on_flow_dataset_nonstrict(self):
+        # Labels propagate down: coarse dataset can train fine algorithm.
+        assert can_evaluate(P, C, strict=False)
+        assert can_evaluate(P, U, strict=False)
+
+    def test_connection_algorithm_on_packet_dataset_never(self):
+        # The paper's canonical counterexample: would rewrite ground truth.
+        assert not can_evaluate(C, P, strict=False)
+        assert not can_evaluate(C, P, strict=True)
+
+    def test_strict_mode_separates_families(self):
+        # S5.1: packet algorithms on packet datasets only and vice versa.
+        assert not can_evaluate(P, C, strict=True)
+        assert not can_evaluate(U, P, strict=True)
+
+    def test_uni_flow_algorithm_on_connection_dataset(self):
+        # Within the flow-like family coarser labels still propagate down.
+        assert can_evaluate(U, C, strict=True)
+        assert not can_evaluate(C, U, strict=False)
+
+    def test_pair_algorithm_needs_pair_labels_or_same(self):
+        assert can_evaluate(PAIR, PAIR)
+        assert not can_evaluate(PAIR, C, strict=True)
+
+    @given(st.sampled_from(list(Granularity)), st.sampled_from(list(Granularity)))
+    def test_strict_is_subset_of_nonstrict(self, algorithm, dataset):
+        if can_evaluate(algorithm, dataset, strict=True):
+            assert can_evaluate(algorithm, dataset, strict=False)
+
+
+class TestLabelPropagation:
+    def test_propagates_coarse_to_fine(self):
+        flow_labels = np.array([0, 1, 0])
+        membership = np.array([0, 0, 1, 1, 2])
+        assert propagate_labels(flow_labels, membership).tolist() == [0, 0, 1, 1, 0]
+
+    def test_unassigned_units_are_benign(self):
+        flow_labels = np.array([1])
+        membership = np.array([0, -1, 0])
+        assert propagate_labels(flow_labels, membership).tolist() == [1, 0, 1]
+
+    def test_empty(self):
+        out = propagate_labels(np.array([], dtype=int), np.array([], dtype=int))
+        assert len(out) == 0
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=20), st.data())
+    def test_every_fine_unit_gets_its_flows_label(self, labels, data):
+        flow_labels = np.array(labels)
+        membership = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(0, len(labels) - 1), min_size=1, max_size=50
+                )
+            )
+        )
+        out = propagate_labels(flow_labels, membership)
+        assert np.array_equal(out, flow_labels[membership])

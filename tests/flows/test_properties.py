@@ -1,0 +1,93 @@
+"""Property-based invariants of flow assembly over random traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows import (
+    Granularity,
+    assemble_connections,
+    assemble_pairs,
+    assemble_unidirectional,
+)
+from repro.traffic.builder import TraceBuilder
+
+
+@st.composite
+def random_traces(draw):
+    """Small random TCP/UDP traces with a handful of hosts and ports."""
+    n = draw(st.integers(1, 60))
+    builder = TraceBuilder()
+    for _ in range(n):
+        ts = draw(st.floats(0.0, 100.0))
+        src = draw(st.integers(1, 4))
+        dst = draw(st.integers(1, 4))
+        sport = draw(st.sampled_from([1000, 2000, 3000]))
+        dport = draw(st.sampled_from([80, 443]))
+        label = draw(st.integers(0, 1))
+        if draw(st.booleans()):
+            builder.add_tcp(ts, src, dst, sport, dport, 10,
+                            attack="x" if label else "")
+        else:
+            builder.add_udp(ts, src, dst, sport, dport, 10,
+                            attack="x" if label else "")
+    return builder.build()
+
+
+ASSEMBLERS = [assemble_unidirectional, assemble_connections, assemble_pairs]
+
+
+@pytest.mark.parametrize("assemble", ASSEMBLERS,
+                         ids=lambda a: a.__name__)
+class TestAssemblyInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(table=random_traces())
+    def test_partition(self, assemble, table):
+        """Every packet lands in exactly one flow."""
+        flows = assemble(table)
+        assert flows.counts.sum() == len(table)
+        seen = np.sort(flows.order)
+        assert np.array_equal(seen, np.arange(len(table)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(table=random_traces())
+    def test_time_sorted_within_flows(self, assemble, table):
+        flows = assemble(table)
+        for i in range(len(flows)):
+            ts = table.ts[flows.packet_indices(i)]
+            assert np.all(np.diff(ts) >= 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(table=random_traces())
+    def test_label_is_any_malicious(self, assemble, table):
+        flows = assemble(table)
+        for i in range(len(flows)):
+            members = table.label[flows.packet_indices(i)]
+            assert flows.labels[i] == int(members.max())
+
+    @settings(max_examples=25, deadline=None)
+    @given(table=random_traces())
+    def test_malicious_flow_has_attack_id(self, assemble, table):
+        flows = assemble(table)
+        malicious = flows.labels == 1
+        assert (flows.attack_ids[malicious] >= 0).all()
+        assert (flows.attack_ids[~malicious] == -1).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(table=random_traces())
+def test_connection_merges_at_most_as_many_flows_as_unidirectional(table):
+    connections = assemble_connections(table)
+    unidirectional = assemble_unidirectional(table)
+    assert len(connections) <= len(unidirectional)
+
+
+@settings(max_examples=25, deadline=None)
+@given(table=random_traces())
+def test_connection_forward_packets_nonempty(table):
+    connections = assemble_connections(table)
+    for i in range(len(connections)):
+        positions = connections.packet_positions(i)
+        # the first packet of a connection defines "forward"
+        assert connections.forward[positions[0]]

@@ -1,0 +1,28 @@
+"""Shared fixtures for ML substrate tests."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def blobs():
+    """Two well-separated Gaussian blobs: (X, y), 400 samples, 5 features."""
+    rng = np.random.default_rng(42)
+    benign = rng.normal(0.0, 1.0, size=(200, 5))
+    malicious = rng.normal(3.0, 1.0, size=(200, 5))
+    X = np.vstack([benign, malicious])
+    y = np.array([0] * 200 + [1] * 200)
+    return X, y
+
+
+@pytest.fixture
+def xor_data():
+    """A non-linearly-separable XOR layout (defeats linear models)."""
+    rng = np.random.default_rng(7)
+    centers = np.array([[0, 0], [2, 2], [0, 2], [2, 0]], dtype=float)
+    labels = np.array([0, 0, 1, 1])
+    X_parts, y_parts = [], []
+    for center, label in zip(centers, labels):
+        X_parts.append(rng.normal(center, 0.25, size=(80, 2)))
+        y_parts.append(np.full(80, label))
+    return np.vstack(X_parts), np.concatenate(y_parts)

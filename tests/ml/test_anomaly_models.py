@@ -1,0 +1,232 @@
+"""Tests for anomaly detectors: OCSVMs, GMM, autoencoders, KitNET."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AnomalyThresholdClassifier,
+    Autoencoder,
+    GaussianMixture,
+    GMMAnomalyDetector,
+    KernelOCSVM,
+    KitNET,
+    KMeans,
+    LinearOCSVM,
+    roc_auc_score,
+)
+from repro.ml.kitsune import correlation_feature_groups
+
+
+@pytest.fixture
+def benign_and_anomalous():
+    rng = np.random.default_rng(11)
+    benign = rng.normal(0.0, 1.0, size=(400, 6))
+    anomalous = rng.normal(4.0, 1.0, size=(100, 6))
+    return benign, anomalous
+
+
+DETECTORS = [
+    LinearOCSVM(n_epochs=30),
+    KernelOCSVM(n_epochs=30, n_components=96),
+    GMMAnomalyDetector(n_components=2),
+    Autoencoder(n_epochs=40),
+    KitNET(n_epochs=25),
+]
+
+
+@pytest.mark.parametrize("detector", DETECTORS, ids=lambda d: type(d).__name__)
+class TestDetectorContract:
+    def test_scores_rank_anomalies_higher(self, detector, benign_and_anomalous):
+        benign, anomalous = benign_and_anomalous
+        from repro.ml.base import clone
+
+        fitted = clone(detector).fit(benign)
+        scores = np.concatenate(
+            [fitted.score_samples(benign), fitted.score_samples(anomalous)]
+        )
+        labels = np.array([0] * len(benign) + [1] * len(anomalous))
+        assert roc_auc_score(labels, scores) > 0.9
+
+    def test_predict_is_binary(self, detector, benign_and_anomalous):
+        benign, anomalous = benign_and_anomalous
+        from repro.ml.base import clone
+
+        fitted = clone(detector).fit(benign)
+        predictions = fitted.predict(anomalous)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_deterministic(self, detector, benign_and_anomalous):
+        benign, anomalous = benign_and_anomalous
+        from repro.ml.base import clone
+
+        a = clone(detector).fit(benign).score_samples(anomalous)
+        b = clone(detector).fit(benign).score_samples(anomalous)
+        assert np.allclose(a, b)
+
+
+class TestLinearOCSVM:
+    def test_nu_bounds_training_outlier_fraction(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 4))
+        model = LinearOCSVM(nu=0.1, n_epochs=30).fit(X)
+        flagged = model.predict(X).mean()
+        assert flagged == pytest.approx(0.1, abs=0.05)
+
+    def test_invalid_nu_rejected(self):
+        with pytest.raises(ValueError):
+            LinearOCSVM(nu=0.0).fit(np.zeros((10, 2)))
+        with pytest.raises(ValueError):
+            LinearOCSVM(nu=1.5).fit(np.zeros((10, 2)))
+
+
+class TestGaussianMixture:
+    def test_recovers_two_modes(self):
+        rng = np.random.default_rng(1)
+        X = np.vstack(
+            [rng.normal(-3, 0.5, size=(300, 2)), rng.normal(3, 0.5, size=(300, 2))]
+        )
+        gmm = GaussianMixture(n_components=2, seed=0).fit(X)
+        centers = np.sort(gmm.means_[:, 0])
+        assert centers[0] == pytest.approx(-3.0, abs=0.3)
+        assert centers[1] == pytest.approx(3.0, abs=0.3)
+        assert gmm.weights_.sum() == pytest.approx(1.0)
+
+    def test_likelihood_higher_near_modes(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 1, size=(300, 2))
+        gmm = GaussianMixture(n_components=2, seed=0).fit(X)
+        near = gmm.score_samples(np.zeros((1, 2)))[0]
+        far = gmm.score_samples(np.full((1, 2), 10.0))[0]
+        assert near > far
+
+    def test_components_clamped_to_samples(self):
+        X = np.random.default_rng(3).normal(size=(3, 2))
+        gmm = GaussianMixture(n_components=10, seed=0).fit(X)
+        assert len(gmm.weights_) == 3
+
+    def test_predict_assigns_components(self):
+        rng = np.random.default_rng(4)
+        X = np.vstack(
+            [rng.normal(-5, 0.2, size=(50, 1)), rng.normal(5, 0.2, size=(50, 1))]
+        )
+        gmm = GaussianMixture(n_components=2, seed=0).fit(X)
+        assignments = gmm.predict(X)
+        # samples from the same mode share a component
+        assert len(set(assignments[:50])) == 1
+        assert len(set(assignments[50:])) == 1
+        assert assignments[0] != assignments[-1]
+
+
+class TestKMeans:
+    def test_finds_centroids(self):
+        rng = np.random.default_rng(5)
+        X = np.vstack(
+            [rng.normal(c, 0.1, size=(100, 2)) for c in ((0, 0), (5, 5), (0, 5))]
+        )
+        km = KMeans(n_clusters=3, seed=0).fit(X)
+        found = {tuple(np.round(c).astype(int)) for c in km.cluster_centers_}
+        assert found == {(0, 0), (5, 5), (0, 5)}
+
+    def test_inertia_decreases_with_more_clusters(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(200, 3))
+        inertia = [
+            KMeans(n_clusters=k, seed=0).fit(X).inertia_ for k in (1, 4, 16)
+        ]
+        assert inertia[0] > inertia[1] > inertia[2]
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0).fit(np.zeros((5, 1)))
+
+
+class TestAutoencoder:
+    def test_reconstructs_training_distribution(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(0, 1, size=(400, 4))
+        model = Autoencoder(n_epochs=60, seed=0).fit(X)
+        benign_scores = model.score_samples(X)
+        anomalous_scores = model.score_samples(rng.normal(6, 1, size=(50, 4)))
+        assert anomalous_scores.mean() > benign_scores.mean() * 1.5
+
+    def test_reconstruct_shape(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(100, 5))
+        model = Autoencoder(n_epochs=10, seed=0).fit(X)
+        assert model.reconstruct(X[:7]).shape == (7, 5)
+
+    def test_threshold_flags_few_benign(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(500, 4))
+        model = Autoencoder(n_epochs=30, seed=0).fit(X)
+        assert model.predict(X).mean() < 0.1
+
+
+class TestKitNET:
+    def test_feature_groups_cover_all_features(self):
+        rng = np.random.default_rng(10)
+        X = rng.normal(size=(200, 25))
+        groups = correlation_feature_groups(X, max_group_size=10)
+        flattened = sorted(f for group in groups for f in group)
+        assert flattened == list(range(25))
+        assert max(len(g) for g in groups) <= 10
+
+    def test_small_input_single_group(self):
+        X = np.random.default_rng(11).normal(size=(50, 4))
+        assert correlation_feature_groups(X, max_group_size=10) == [[0, 1, 2, 3]]
+
+    def test_correlated_features_cluster_together(self):
+        rng = np.random.default_rng(12)
+        base_a = rng.normal(size=300)
+        base_b = rng.normal(size=300)
+        X = np.column_stack(
+            [base_a, base_a + rng.normal(scale=0.01, size=300)]
+            + [base_b, base_b + rng.normal(scale=0.01, size=300)]
+            + [rng.normal(size=300) for _ in range(8)]
+        )
+        groups = correlation_feature_groups(X, max_group_size=3)
+        group_of = {}
+        for i, group in enumerate(groups):
+            for feature in group:
+                group_of[feature] = i
+        assert group_of[0] == group_of[1]
+        assert group_of[2] == group_of[3]
+
+
+class TestAnomalyThresholdClassifier:
+    def test_trains_on_benign_only(self, benign_and_anomalous):
+        benign, anomalous = benign_and_anomalous
+        X = np.vstack([benign, anomalous])
+        y = np.array([0] * len(benign) + [1] * len(anomalous))
+        clf = AnomalyThresholdClassifier(GMMAnomalyDetector(n_components=2))
+        clf.fit(X, y)
+        predictions = clf.predict(X)
+        from repro.ml import precision_score, recall_score
+
+        assert precision_score(y, predictions) > 0.8
+        assert recall_score(y, predictions) > 0.8
+
+    def test_no_benign_rows_raises(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        y = np.ones(10, dtype=int)
+        with pytest.raises(ValueError):
+            AnomalyThresholdClassifier(GMMAnomalyDetector()).fit(X, y)
+
+    def test_invalid_quantile_raises(self, benign_and_anomalous):
+        benign, _ = benign_and_anomalous
+        y = np.zeros(len(benign), dtype=int)
+        with pytest.raises(ValueError):
+            AnomalyThresholdClassifier(GMMAnomalyDetector(), quantile=1.5).fit(
+                benign, y
+            )
+
+    def test_quantile_controls_false_positives(self, benign_and_anomalous):
+        benign, _ = benign_and_anomalous
+        y = np.zeros(len(benign), dtype=int)
+        strict = AnomalyThresholdClassifier(
+            GMMAnomalyDetector(n_components=2), quantile=0.999
+        ).fit(benign, y)
+        loose = AnomalyThresholdClassifier(
+            GMMAnomalyDetector(n_components=2), quantile=0.5
+        ).fit(benign, y)
+        assert strict.predict(benign).mean() < loose.predict(benign).mean()

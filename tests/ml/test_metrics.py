@@ -1,0 +1,181 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    balanced_accuracy_score,
+    classification_summary,
+    confusion_matrix,
+    f1_score,
+    precision_recall_curve,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+
+
+class TestConfusionMatrix:
+    def test_layout(self):
+        y_true = [0, 0, 1, 1, 1]
+        y_pred = [0, 1, 1, 1, 0]
+        matrix = confusion_matrix(y_true, y_pred)
+        assert matrix[0, 0] == 1  # tn
+        assert matrix[0, 1] == 1  # fp
+        assert matrix[1, 0] == 1  # fn
+        assert matrix[1, 1] == 2  # tp
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0])
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        assert precision_score([0, 1, 1], [0, 1, 1]) == 1.0
+        assert recall_score([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_known_values(self):
+        y_true = [1, 1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 0, 1, 0]
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_zero_division_defaults(self):
+        assert precision_score([0, 0], [0, 0]) == 0.0
+        assert recall_score([0, 0], [0, 0]) == 0.0
+        assert precision_score([0, 0], [0, 0], zero_division=1.0) == 1.0
+
+    def test_f1_known(self):
+        y_true = [1, 1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 0, 1, 0]
+        precision, recall = 2 / 3, 0.5
+        assert f1_score(y_true, y_pred) == pytest.approx(
+            2 * precision * recall / (precision + recall)
+        )
+
+    def test_f1_degenerate(self):
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_accuracy(self):
+        assert accuracy_score([0, 1, 1, 0], [0, 1, 0, 0]) == 0.75
+
+    def test_accuracy_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_balanced_accuracy(self):
+        # 9 negatives all correct, 1 positive wrong -> balanced = 0.5
+        y_true = [0] * 9 + [1]
+        y_pred = [0] * 10
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_summary_bundle(self):
+        summary = classification_summary([0, 1], [0, 1])
+        assert summary == {
+            "precision": 1.0,
+            "recall": 1.0,
+            "f1": 1.0,
+            "accuracy": 1.0,
+        }
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1, max_size=60
+        )
+    )
+    def test_precision_recall_bounds(self, pairs):
+        y_true = [p[0] for p in pairs]
+        y_pred = [p[1] for p in pairs]
+        assert 0.0 <= precision_score(y_true, y_pred) <= 1.0
+        assert 0.0 <= recall_score(y_true, y_pred) <= 1.0
+        assert 0.0 <= f1_score(y_true, y_pred) <= 1.0
+
+
+class TestAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert roc_auc_score(y, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_get_midrank(self):
+        # All scores equal -> AUC must be exactly 0.5.
+        assert roc_auc_score([0, 1, 0, 1], [5.0, 5.0, 5.0, 5.0]) == 0.5
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([1, 1], [0.1, 0.2])
+
+    @given(st.integers(1, 20), st.integers(1, 20), st.integers(0, 10_000))
+    def test_auc_complement_symmetry(self, n_pos, n_neg, seed):
+        rng = np.random.default_rng(seed)
+        y = np.array([1] * n_pos + [0] * n_neg)
+        scores = rng.random(n_pos + n_neg)
+        auc = roc_auc_score(y, scores)
+        flipped = roc_auc_score(y, -scores)
+        assert auc + flipped == pytest.approx(1.0)
+
+
+class TestPrecisionRecallCurve:
+    def test_monotone_recall(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=100)
+        scores = rng.random(100)
+        _, recall, thresholds = precision_recall_curve(y, scores)
+        assert np.all(np.diff(recall) >= 0)
+        assert np.all(np.diff(thresholds) <= 0)
+
+    def test_endpoint_recall_is_one(self):
+        y = [0, 1, 1, 0, 1]
+        scores = [0.1, 0.9, 0.5, 0.3, 0.7]
+        _, recall, _ = precision_recall_curve(y, scores)
+        assert recall[-1] == pytest.approx(1.0)
+
+    def test_perfect_separation_has_unit_precision_prefix(self):
+        y = [0, 0, 1, 1]
+        scores = [0.1, 0.2, 0.8, 0.9]
+        precision, recall, _ = precision_recall_curve(y, scores)
+        assert precision[0] == 1.0
+        assert recall[0] == pytest.approx(0.5)
+
+
+class TestRocCurve:
+    def test_trapezoid_area_matches_rank_auc(self):
+        from repro.ml.metrics import roc_curve
+
+        rng = np.random.default_rng(5)
+        y = rng.integers(0, 2, size=300)
+        scores = rng.normal(size=300) + y * 1.5
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        area = np.trapezoid(
+            np.concatenate([[0.0], tpr]), np.concatenate([[0.0], fpr])
+        )
+        assert area == pytest.approx(roc_auc_score(y, scores), abs=1e-9)
+
+    def test_monotone_and_ends_at_one(self):
+        from repro.ml.metrics import roc_curve
+
+        rng = np.random.default_rng(6)
+        y = rng.integers(0, 2, size=100)
+        fpr, tpr, thresholds = roc_curve(y, rng.random(100))
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+        assert np.all(np.diff(thresholds) < 0)
+        assert fpr[-1] == pytest.approx(1.0)
+        assert tpr[-1] == pytest.approx(1.0)
+
+    def test_single_class_rejected(self):
+        from repro.ml.metrics import roc_curve
+
+        with pytest.raises(ValueError):
+            roc_curve([1, 1, 1], [0.1, 0.2, 0.3])

@@ -1,0 +1,150 @@
+"""Tests for splitting, cross-validation, grid search and kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GridSearch,
+    KFold,
+    Nystroem,
+    RandomFourierFeatures,
+    rbf_kernel,
+    train_test_split,
+)
+from repro.ml.kernels import median_heuristic_gamma
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, blobs):
+        X, y = blobs
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25)
+        assert len(X_test) == pytest.approx(100, abs=2)
+        assert len(X_train) + len(X_test) == len(X)
+        assert len(y_train) == len(X_train)
+
+    def test_stratification_preserves_class_ratio(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(1000, 2))
+        y = np.array([0] * 900 + [1] * 100)
+        _, _, _, y_test = train_test_split(X, y, test_size=0.3, seed=3)
+        assert y_test.mean() == pytest.approx(0.1, abs=0.02)
+
+    def test_rare_class_lands_on_both_sides(self):
+        X = np.arange(40, dtype=float).reshape(-1, 1)
+        y = np.array([0] * 38 + [1] * 2)
+        _, _, y_train, y_test = train_test_split(X, y, test_size=0.3, seed=0)
+        assert y_train.sum() >= 1
+        assert y_test.sum() >= 1
+
+    def test_invalid_test_size(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=1.0)
+
+    def test_deterministic_seed(self, blobs):
+        X, y = blobs
+        a = train_test_split(X, y, seed=5)
+        b = train_test_split(X, y, seed=5)
+        assert np.array_equal(a[0], b[0])
+
+    def test_different_seeds_differ(self, blobs):
+        X, y = blobs
+        a = train_test_split(X, y, seed=5)
+        b = train_test_split(X, y, seed=6)
+        assert not np.array_equal(a[0], b[0])
+
+
+class TestKFold:
+    def test_partitions_everything_once(self):
+        folds = list(KFold(n_splits=5, seed=0).split(53))
+        assert len(folds) == 5
+        all_test = np.sort(np.concatenate([test for _, test in folds]))
+        assert np.array_equal(all_test, np.arange(53))
+
+    def test_train_test_disjoint(self):
+        for train_idx, test_idx in KFold(n_splits=4).split(40):
+            assert set(train_idx).isdisjoint(test_idx)
+            assert len(train_idx) + len(test_idx) == 40
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=10).split(5))
+
+    def test_min_two_folds(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=1).split(10))
+
+
+class TestGridSearch:
+    def test_finds_better_depth(self, xor_data):
+        X, y = xor_data
+        search = GridSearch(
+            DecisionTreeClassifier(),
+            {"max_depth": [1, 6]},
+            n_splits=3,
+            seed=0,
+        ).fit(X, y)
+        assert search.best_params_["max_depth"] == 6
+        assert search.best_score_ > 0.9
+        assert len(search.results_) == 2
+
+    def test_empty_grid_rejected(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            GridSearch(DecisionTreeClassifier(), {"max_depth": []}).fit(X, y)
+
+    def test_predict_uses_best(self, blobs):
+        X, y = blobs
+        search = GridSearch(
+            DecisionTreeClassifier(), {"max_depth": [3]}, n_splits=3
+        ).fit(X, y)
+        assert (search.predict(X) == search.best_estimator_.predict(X)).all()
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_one(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        K = rbf_kernel(X, X, gamma=0.5)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_rbf_decreases_with_distance(self):
+        X = np.array([[0.0], [1.0], [5.0]])
+        K = rbf_kernel(X[:1], X, gamma=1.0)
+        assert K[0, 0] > K[0, 1] > K[0, 2]
+
+    def test_median_heuristic_positive(self):
+        X = np.random.default_rng(1).normal(size=(100, 4))
+        gamma = median_heuristic_gamma(X)
+        assert gamma > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_rff_approximates_rbf(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 4))
+        gamma = 0.3
+        exact = rbf_kernel(X, X, gamma)
+        features = RandomFourierFeatures(
+            n_components=2048, gamma=gamma, seed=seed
+        ).fit(X)
+        lifted = features.transform(X)
+        approx = lifted @ lifted.T
+        assert np.abs(exact - approx).mean() < 0.06
+
+    def test_nystroem_exact_when_full_rank(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(40, 3))
+        nystroem = Nystroem(n_components=40, gamma=0.5, seed=0).fit(X)
+        lifted = nystroem.transform(X)
+        exact = rbf_kernel(X, X, 0.5)
+        assert np.abs(lifted @ lifted.T - exact).max() < 1e-6
+
+    def test_nystroem_landmarks_clamped(self):
+        X = np.random.default_rng(3).normal(size=(10, 2))
+        nystroem = Nystroem(n_components=100, seed=0).fit(X)
+        assert len(nystroem.landmarks_) == 10

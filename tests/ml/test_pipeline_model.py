@@ -1,0 +1,122 @@
+"""Tests for the transform-stack model wrapper and estimator basics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    CorrelatedFeatureRemover,
+    DecisionTreeClassifier,
+    GMMAnomalyDetector,
+    GaussianNB,
+    StandardScaler,
+    accuracy_score,
+)
+from repro.ml.base import BaseEstimator, NotFittedError, check_array, check_X_y, clone
+from repro.ml.pipeline_model import TransformedClassifier
+
+
+class TestTransformedClassifier:
+    def test_fits_transforms_on_train_only(self, blobs):
+        X, y = blobs
+        model = TransformedClassifier(
+            [StandardScaler()], DecisionTreeClassifier(max_depth=4)
+        )
+        model.fit(X[:200], y[:200])
+        scaler = model.transforms_[0]
+        # the fitted mean is the training mean, not the full-data mean
+        assert np.allclose(scaler.mean_, X[:200].mean(axis=0))
+
+    def test_prediction_quality_preserved(self, blobs):
+        X, y = blobs
+        model = TransformedClassifier(
+            [StandardScaler(), CorrelatedFeatureRemover()],
+            DecisionTreeClassifier(max_depth=6),
+        )
+        model.fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.95
+
+    def test_unsupervised_fit(self, blobs):
+        X, _ = blobs
+        benign = X[:200]
+        model = TransformedClassifier(
+            [StandardScaler()], GMMAnomalyDetector(n_components=2)
+        )
+        model.fit(benign)  # y=None path
+        scores = model.score_samples(X)
+        assert scores[200:].mean() > scores[:200].mean()
+
+    def test_predict_proba_passthrough(self, blobs):
+        X, y = blobs
+        model = TransformedClassifier([StandardScaler()], GaussianNB())
+        model.fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_proba_missing_raises(self, blobs):
+        X, y = blobs
+        from repro.ml import LinearSVC
+
+        model = TransformedClassifier([], LinearSVC(n_epochs=5))
+        model.fit(X, y)
+        with pytest.raises(AttributeError):
+            model.predict_proba(X)
+
+    def test_unfitted_raises(self, blobs):
+        X, _ = blobs
+        model = TransformedClassifier([], GaussianNB())
+        with pytest.raises(NotFittedError):
+            model.predict(X)
+
+    def test_clone_deep_copies_transforms(self):
+        model = TransformedClassifier([StandardScaler()], GaussianNB())
+        duplicate = clone(model)
+        assert duplicate.transforms is not model.transforms
+        assert duplicate.transforms[0] is not model.transforms[0]
+
+    def test_classes_exposed(self, blobs):
+        X, y = blobs
+        model = TransformedClassifier([], GaussianNB()).fit(X, y)
+        assert set(model.classes_) == {0, 1}
+
+
+class TestBaseEstimator:
+    def test_get_params_reflects_init(self):
+        tree = DecisionTreeClassifier(max_depth=5, criterion="entropy")
+        params = tree.get_params()
+        assert params["max_depth"] == 5
+        assert params["criterion"] == "entropy"
+
+    def test_set_params_roundtrip(self):
+        tree = DecisionTreeClassifier()
+        tree.set_params(max_depth=9)
+        assert tree.max_depth == 9
+
+    def test_set_unknown_param_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().set_params(depth=3)
+
+    def test_repr_contains_params(self):
+        assert "max_depth=7" in repr(DecisionTreeClassifier(max_depth=7))
+
+    def test_check_array_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_array(np.empty((0, 3)))
+
+    def test_check_array_allows_empty_when_asked(self):
+        out = check_array(np.empty((0, 3)), allow_empty=True)
+        assert out.shape == (0, 3)
+
+    def test_check_array_promotes_1d(self):
+        assert check_array([1.0, 2.0]).shape == (2, 1)
+
+    def test_check_array_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_check_X_y_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.zeros((3, 2)), [0, 1])
+
+    def test_check_X_y_rejects_2d_labels(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.zeros((3, 2)), np.zeros((3, 1)))

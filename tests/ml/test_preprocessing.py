@@ -1,0 +1,161 @@
+"""Tests for scalers, PCA and feature selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.base import NotFittedError
+from repro.ml.feature_selection import CorrelatedFeatureRemover, VarianceThreshold
+from repro.ml.preprocessing import MinMaxScaler, PCA, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(500, 4))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit([[np.nan, 1.0]])
+
+    @settings(max_examples=25)
+    @given(
+        arrays(
+            np.float64,
+            (20, 3),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    def test_transform_is_affine(self, X):
+        scaler = StandardScaler().fit(X)
+        a = scaler.transform(X[:5])
+        b = scaler.transform(X[5:10])
+        combined = scaler.transform(np.vstack([X[:5], X[5:10]]))
+        assert np.allclose(combined, np.vstack([a, b]))
+
+
+class TestMinMaxScaler:
+    def test_range(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-10, 10, size=(100, 3))
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+        assert scaled.min(axis=0) == pytest.approx(np.zeros(3))
+        assert scaled.max(axis=0) == pytest.approx(np.ones(3))
+
+    def test_out_of_range_without_clip(self):
+        scaler = MinMaxScaler().fit([[0.0], [1.0]])
+        assert scaler.transform([[2.0]])[0, 0] == 2.0
+
+    def test_out_of_range_with_clip(self):
+        scaler = MinMaxScaler(clip=True).fit([[0.0], [1.0]])
+        assert scaler.transform([[2.0]])[0, 0] == 1.0
+        assert scaler.transform([[-1.0]])[0, 0] == 0.0
+
+    def test_constant_feature(self):
+        scaled = MinMaxScaler().fit_transform([[3.0], [3.0], [3.0]])
+        assert np.allclose(scaled, 0.0)
+
+
+class TestPCA:
+    def test_recovers_dominant_direction(self):
+        rng = np.random.default_rng(3)
+        t = rng.normal(size=500)
+        X = np.column_stack([t, 2 * t + rng.normal(scale=0.01, size=500)])
+        pca = PCA(n_components=1).fit(X)
+        direction = pca.components_[0] / np.linalg.norm(pca.components_[0])
+        expected = np.array([1.0, 2.0]) / np.sqrt(5.0)
+        assert abs(abs(direction @ expected) - 1.0) < 1e-3
+
+    def test_explained_variance_sums_below_one(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(100, 5))
+        pca = PCA(n_components=3).fit(X)
+        assert 0.0 < pca.explained_variance_ratio_.sum() <= 1.0 + 1e-12
+
+    def test_full_rank_reconstruction(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(40, 4))
+        pca = PCA(n_components=4).fit(X)
+        assert np.allclose(pca.inverse_transform(pca.transform(X)), X, atol=1e-8)
+
+    def test_components_clamped_to_rank(self):
+        X = np.random.default_rng(6).normal(size=(10, 3))
+        pca = PCA(n_components=99).fit(X)
+        assert pca.components_.shape[0] == 3
+
+    def test_transform_shape(self):
+        X = np.random.default_rng(7).normal(size=(30, 6))
+        assert PCA(n_components=2).fit_transform(X).shape == (30, 2)
+
+
+class TestVarianceThreshold:
+    def test_drops_constant(self):
+        X = np.column_stack([np.ones(20), np.arange(20.0)])
+        out = VarianceThreshold().fit_transform(X)
+        assert out.shape == (20, 1)
+        assert np.allclose(out[:, 0], np.arange(20.0))
+
+    def test_never_drops_everything(self):
+        X = np.ones((10, 3))
+        out = VarianceThreshold().fit_transform(X)
+        assert out.shape == (10, 3)
+
+    def test_threshold_value(self):
+        rng = np.random.default_rng(8)
+        X = np.column_stack([rng.normal(scale=0.01, size=100), rng.normal(scale=10, size=100)])
+        out = VarianceThreshold(threshold=1.0).fit_transform(X)
+        assert out.shape[1] == 1
+
+
+class TestCorrelatedFeatureRemover:
+    def test_drops_duplicate_feature(self):
+        rng = np.random.default_rng(9)
+        base = rng.normal(size=200)
+        X = np.column_stack([base, base * 2.0 + 1e-9, rng.normal(size=200)])
+        remover = CorrelatedFeatureRemover(threshold=0.95).fit(X)
+        assert remover.mask_.tolist() == [True, False, True]
+
+    def test_keeps_uncorrelated(self):
+        rng = np.random.default_rng(10)
+        X = rng.normal(size=(300, 4))
+        remover = CorrelatedFeatureRemover(threshold=0.95).fit(X)
+        assert remover.mask_.all()
+
+    def test_drops_constant_features(self):
+        rng = np.random.default_rng(11)
+        X = np.column_stack([rng.normal(size=50), np.full(50, 7.0)])
+        remover = CorrelatedFeatureRemover().fit(X)
+        assert remover.mask_.tolist() == [True, False]
+
+    def test_all_constant_keeps_one(self):
+        X = np.ones((10, 3))
+        remover = CorrelatedFeatureRemover().fit(X)
+        assert remover.mask_.sum() == 1
+
+    def test_anticorrelation_also_dropped(self):
+        rng = np.random.default_rng(12)
+        base = rng.normal(size=200)
+        X = np.column_stack([base, -base])
+        remover = CorrelatedFeatureRemover(threshold=0.9).fit(X)
+        assert remover.mask_.tolist() == [True, False]

@@ -1,0 +1,117 @@
+"""Tests for IPv4/MAC address helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import (
+    in_prefix,
+    int_to_ip,
+    int_to_mac,
+    ip_to_int,
+    mac_to_int,
+    prefix_to_range,
+    random_ip_in_prefix,
+)
+
+
+class TestIpConversion:
+    def test_known_value(self):
+        assert ip_to_int("10.0.0.1") == (10 << 24) + 1
+
+    def test_zero(self):
+        assert ip_to_int("0.0.0.0") == 0
+
+    def test_broadcast(self):
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+
+    def test_round_trip_known(self):
+        assert int_to_ip(ip_to_int("192.168.1.77")) == "192.168.1.77"
+
+    @pytest.mark.parametrize(
+        "bad", ["256.0.0.1", "1.2.3", "a.b.c.d", "", "1.2.3.4.5", "10.0.0.-1"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_int_to_ip_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+        with pytest.raises(ValueError):
+            int_to_ip(2**32)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_round_trip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestMacConversion:
+    def test_known_value(self):
+        assert mac_to_int("00:00:00:00:00:01") == 1
+
+    def test_dash_separator(self):
+        assert mac_to_int("aa-bb-cc-dd-ee-ff") == 0xAABBCCDDEEFF
+
+    def test_round_trip(self):
+        assert int_to_mac(mac_to_int("de:ad:be:ef:00:01")) == "de:ad:be:ef:00:01"
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            mac_to_int("not-a-mac")
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            int_to_mac(2**48)
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    def test_round_trip_property(self, value):
+        assert mac_to_int(int_to_mac(value)) == value
+
+
+class TestPrefixes:
+    def test_range_of_slash_24(self):
+        low, high = prefix_to_range("192.168.1.0/24")
+        assert low == ip_to_int("192.168.1.0")
+        assert high == ip_to_int("192.168.1.255")
+
+    def test_range_of_slash_32(self):
+        low, high = prefix_to_range("10.1.2.3/32")
+        assert low == high == ip_to_int("10.1.2.3")
+
+    def test_range_of_slash_zero(self):
+        assert prefix_to_range("0.0.0.0/0") == (0, 0xFFFFFFFF)
+
+    def test_base_is_masked(self):
+        low, _ = prefix_to_range("10.0.0.77/24")
+        assert low == ip_to_int("10.0.0.0")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            prefix_to_range("10.0.0.0/33")
+
+    def test_rejects_missing_length(self):
+        with pytest.raises(ValueError):
+            prefix_to_range("10.0.0.0")
+
+    def test_in_prefix_with_text_address(self):
+        assert in_prefix("10.0.0.5", "10.0.0.0/24")
+        assert not in_prefix("10.0.1.5", "10.0.0.0/24")
+
+    def test_in_prefix_with_int_address(self):
+        assert in_prefix(ip_to_int("172.16.4.1"), "172.16.0.0/16")
+
+    def test_random_ip_stays_inside(self):
+        rng = np.random.default_rng(7)
+        for _ in range(100):
+            address = random_ip_in_prefix(rng, "192.168.77.0/24")
+            assert in_prefix(address, "192.168.77.0/24")
+            # network and broadcast addresses are excluded
+            assert address != ip_to_int("192.168.77.0")
+            assert address != ip_to_int("192.168.77.255")
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF), st.integers(0, 32))
+    def test_every_address_is_inside_its_own_prefix(self, value, length):
+        prefix = f"{int_to_ip(value)}/{length}"
+        assert in_prefix(value, prefix)

@@ -1,0 +1,58 @@
+"""Tests for trace analytics."""
+
+import pytest
+
+from repro.net.inspect import describe_trace, render_description
+from repro.net.table import PacketTable
+from repro.traffic import AttackSpec, NetworkScenario
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return NetworkScenario(
+        name="inspect-test",
+        device_counts={"camera": 1, "thermostat": 1},
+        duration=60.0,
+        seed=91,
+        attacks=(AttackSpec("dos_udp_flood", 0.4, 0.6, intensity=0.1),),
+    ).generate()
+
+
+class TestDescribeTrace:
+    def test_counts(self, trace):
+        description = describe_trace(trace)
+        assert description.n_packets == len(trace)
+        assert description.total_bytes == int(trace.length.sum())
+        assert description.duration_s == pytest.approx(trace.duration, abs=0.01)
+        assert description.n_hosts >= 3
+
+    def test_protocol_mix_sums_to_one(self, trace):
+        description = describe_trace(trace)
+        assert sum(description.protocol_mix.values()) == pytest.approx(
+            1.0, abs=0.01
+        )
+        assert "tcp" in description.protocol_mix
+
+    def test_top_talkers_sorted(self, trace):
+        description = describe_trace(trace, top=3)
+        counts = [count for _, count in description.top_talkers]
+        assert counts == sorted(counts, reverse=True)
+        assert len(description.top_talkers) <= 3
+
+    def test_attack_counts(self, trace):
+        description = describe_trace(trace)
+        assert description.attacks.get("dos_udp_flood", 0) == trace.n_malicious
+        assert description.label_fraction == pytest.approx(
+            trace.n_malicious / len(trace), abs=1e-3
+        )
+
+    def test_empty_trace(self):
+        description = describe_trace(PacketTable.empty())
+        assert description.n_packets == 0
+        assert description.protocol_mix == {}
+
+    def test_render_mentions_key_facts(self, trace):
+        text = render_description(describe_trace(trace))
+        assert "packets" in text
+        assert "dos_udp_flood" in text
+        assert "tcp" in text

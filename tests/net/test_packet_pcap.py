@@ -1,0 +1,210 @@
+"""Tests for packet parsing/encoding and pcap round-trips."""
+
+import struct
+
+import pytest
+
+from repro.net.headers import (
+    ARPHeader,
+    Dot11Header,
+    EthernetHeader,
+    ICMPHeader,
+    IPv4Header,
+    TCPHeader,
+    UDPHeader,
+    ETHERTYPE_ARP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+)
+from repro.net.packet import LinkType, Packet
+from repro.net.pcap import PcapFormatError, PcapReader, read_pcap, write_pcap
+
+
+def make_tcp_packet(ts=1.0, payload=b"data", flags=0x02):
+    return Packet(
+        timestamp=ts,
+        layers=[
+            EthernetHeader(src_mac=1, dst_mac=2),
+            IPv4Header(
+                src_ip=0x0A000001,
+                dst_ip=0x0A000002,
+                protocol=IPPROTO_TCP,
+                total_length=40 + len(payload),
+            ),
+            TCPHeader(src_port=4444, dst_port=80, flags=flags),
+        ],
+        payload=payload,
+    )
+
+
+class TestPacketModel:
+    def test_layer_lookup(self):
+        packet = make_tcp_packet()
+        assert packet.layer(TCPHeader).dst_port == 80
+        assert packet.layer(UDPHeader) is None
+        assert packet.has(IPv4Header)
+
+    def test_wire_length(self):
+        packet = make_tcp_packet(payload=b"abcd")
+        assert packet.wire_length == 14 + 20 + 20 + 4
+
+    def test_link_type_detection(self):
+        assert make_tcp_packet().link_type == LinkType.ETHERNET
+        dot11 = Packet(
+            timestamp=0.0,
+            layers=[Dot11Header(frame_type=0, subtype=12, addr1=1, addr2=2, addr3=3)],
+        )
+        assert dot11.link_type == LinkType.IEEE802_11
+
+    def test_parse_round_trip_tcp(self):
+        original = make_tcp_packet(payload=b"hello")
+        parsed = Packet.parse(original.encode(), timestamp=1.0)
+        assert parsed.layer(EthernetHeader).src_mac == 1
+        assert parsed.layer(IPv4Header).dst_ip == 0x0A000002
+        assert parsed.layer(TCPHeader).src_port == 4444
+        assert parsed.payload == b"hello"
+
+    def test_parse_round_trip_udp(self):
+        packet = Packet(
+            timestamp=0.0,
+            layers=[
+                EthernetHeader(src_mac=9, dst_mac=8),
+                IPv4Header(src_ip=1, dst_ip=2, protocol=IPPROTO_UDP, total_length=36),
+                UDPHeader(src_port=5000, dst_port=53, length=16),
+            ],
+            payload=b"12345678",
+        )
+        parsed = Packet.parse(packet.encode())
+        assert parsed.layer(UDPHeader).dst_port == 53
+        assert parsed.payload == b"12345678"
+
+    def test_parse_round_trip_arp(self):
+        packet = Packet(
+            timestamp=0.0,
+            layers=[
+                EthernetHeader(src_mac=1, dst_mac=0xFFFFFFFFFFFF, ethertype=ETHERTYPE_ARP),
+                ARPHeader(
+                    operation=1, sender_mac=1, sender_ip=10, target_mac=0, target_ip=20
+                ),
+            ],
+        )
+        parsed = Packet.parse(packet.encode())
+        assert parsed.layer(ARPHeader).target_ip == 20
+
+    def test_parse_round_trip_icmp(self):
+        packet = Packet(
+            timestamp=0.0,
+            layers=[
+                EthernetHeader(src_mac=1, dst_mac=2),
+                IPv4Header(src_ip=1, dst_ip=2, protocol=1, total_length=28),
+                ICMPHeader(icmp_type=8),
+            ],
+        )
+        parsed = Packet.parse(packet.encode())
+        assert parsed.layer(ICMPHeader).icmp_type == 8
+
+    def test_parse_dot11(self):
+        original = Packet(
+            timestamp=2.0,
+            layers=[
+                Dot11Header(
+                    frame_type=0,
+                    subtype=Dot11Header.SUBTYPE_DEAUTH,
+                    addr1=0xA,
+                    addr2=0xB,
+                    addr3=0xC,
+                )
+            ],
+            payload=b"\x07\x00",
+        )
+        parsed = Packet.parse(
+            original.encode(), timestamp=2.0, link_type=LinkType.IEEE802_11
+        )
+        assert parsed.layer(Dot11Header).subtype == Dot11Header.SUBTYPE_DEAUTH
+        assert parsed.payload == b"\x07\x00"
+
+    def test_garbage_beyond_ethernet_becomes_payload(self):
+        ether = EthernetHeader(src_mac=1, dst_mac=2, ethertype=0x0800)
+        raw = ether.encode() + b"\x00\x01\x02"  # not a valid IPv4 header
+        parsed = Packet.parse(raw)
+        assert parsed.payload == b"\x00\x01\x02"
+        assert parsed.layer(IPv4Header) is None
+
+
+class TestPcap:
+    def test_write_read_round_trip(self, tmp_path):
+        packets = [make_tcp_packet(ts=float(i), payload=bytes([i] * i)) for i in range(1, 20)]
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, packets)
+        loaded = read_pcap(path)
+        assert len(loaded) == len(packets)
+        for original, parsed in zip(packets, loaded):
+            assert parsed.timestamp == pytest.approx(original.timestamp, abs=1e-6)
+            assert parsed.layer(TCPHeader).src_port == 4444
+            assert parsed.payload == original.payload
+
+    def test_dot11_link_type_round_trip(self, tmp_path):
+        packets = [
+            Packet(
+                timestamp=0.5,
+                layers=[
+                    Dot11Header(frame_type=0, subtype=12, addr1=1, addr2=2, addr3=3)
+                ],
+            )
+        ]
+        path = tmp_path / "wifi.pcap"
+        write_pcap(path, packets)
+        reader = PcapReader(path)
+        loaded = list(reader)
+        assert reader.link_type == LinkType.IEEE802_11
+        assert loaded[0].layer(Dot11Header).subtype == 12
+
+    def test_subsecond_timestamps(self, tmp_path):
+        packets = [make_tcp_packet(ts=1.234567)]
+        path = tmp_path / "ts.pcap"
+        write_pcap(path, packets)
+        loaded = read_pcap(path)
+        assert loaded[0].timestamp == pytest.approx(1.234567, abs=1e-6)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        path.write_bytes(b"")
+        with pytest.raises(PcapFormatError):
+            list(PcapReader(path))
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(PcapFormatError):
+            list(PcapReader(path))
+
+    def test_truncated_record_rejected(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        write_pcap(path, [make_tcp_packet()])
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(PcapFormatError):
+            list(PcapReader(path))
+
+    def test_big_endian_capture_is_read(self, tmp_path):
+        # Hand-assemble a big-endian microsecond capture with one record.
+        packet = make_tcp_packet(ts=3.0)
+        raw = packet.encode()
+        header = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack(">IIII", 3, 0, len(raw), len(raw)) + raw
+        path = tmp_path / "be.pcap"
+        path.write_bytes(header + record)
+        loaded = read_pcap(path)
+        assert len(loaded) == 1
+        assert loaded[0].timestamp == pytest.approx(3.0)
+        assert loaded[0].layer(TCPHeader).dst_port == 80
+
+    def test_raw_records(self, tmp_path):
+        path = tmp_path / "raw.pcap"
+        write_pcap(path, [make_tcp_packet(ts=9.0, payload=b"xyz")])
+        reader = PcapReader(path)
+        records = list(reader.records(raw=True))
+        assert len(records) == 1
+        timestamp, data = records[0]
+        assert timestamp == pytest.approx(9.0)
+        assert data.endswith(b"xyz")

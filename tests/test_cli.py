@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestInventoryCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "F0" in out and "P2" in out
+        assert "CTU, 1-1" in out
+
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "A06" in out and "Kitsune" in out
+
+    def test_operations(self, capsys):
+        assert main(["operations", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "Groupby" in out
+        assert "-> flows" in out
+
+
+class TestEvaluationCommands:
+    def test_evaluate_same_dataset(self, capsys):
+        assert main(["evaluate", "A14", "F0"]) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert "per attack" in out
+
+    def test_matrix_and_figure(self, tmp_path, capsys):
+        results = tmp_path / "results.json"
+        csv = tmp_path / "results.csv"
+        assert main([
+            "matrix", "--algorithms", "A13,A14", "--datasets", "F0,F1",
+            "--out", str(results), "--csv", str(csv),
+        ]) == 0
+        payload = json.loads(results.read_text())
+        assert len(payload) == 2 * (2 + 2)  # 2 algos x (2 same + 2 cross)
+        assert csv.exists()
+        capsys.readouterr()
+        assert main(["figure", "fig10", "--results", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "F0" in out and "F1" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "A14", "F0"]) == 0
+        out = capsys.readouterr().out
+        assert "Groupby" in out
+        assert "total:" in out
+
+
+class TestTemplateCommands:
+    def test_template_write_and_run(self, tmp_path, capsys):
+        out_file = tmp_path / "t.json"
+        assert main(["template", "--starter", "connection-rf",
+                     "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        capsys.readouterr()
+        assert main(["run-template", str(out_file), "F0"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics" in out
+        assert "total:" in out
+
+
+class TestReportAndExport:
+    def test_report_from_results(self, tmp_path, capsys):
+        results = tmp_path / "results.json"
+        main(["matrix", "--algorithms", "A14", "--datasets", "F0,F1",
+              "--out", str(results)])
+        capsys.readouterr()
+        report_path = tmp_path / "report.md"
+        assert main(["report", "--results", str(results),
+                     "--out", str(report_path)]) == 0
+        text = report_path.read_text()
+        assert "# Lumen benchmark report" in text
+        assert "A14" in text
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["export", "F5", "--directory", str(tmp_path)]) == 0
+        assert (tmp_path / "F5.pcap").exists()
+        assert (tmp_path / "F5.labels.csv").exists()
+
+
+class TestInspectAndDiff:
+    def test_inspect(self, capsys):
+        assert main(["inspect", "F5"]) == 0
+        out = capsys.readouterr().out
+        assert "packets" in out
+        assert "malicious" in out
+
+    def test_diff_identical_is_clean(self, tmp_path, capsys):
+        results = tmp_path / "r.json"
+        main(["matrix", "--algorithms", "A13", "--datasets", "F0",
+              "--out", str(results)])
+        capsys.readouterr()
+        assert main(["diff", str(results), str(results)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_detects_change(self, tmp_path, capsys):
+        import json
+
+        results = tmp_path / "r.json"
+        main(["matrix", "--algorithms", "A13", "--datasets", "F0",
+              "--out", str(results)])
+        payload = json.loads(results.read_text())
+        payload[0]["precision"] = 0.01
+        mutated = tmp_path / "mutated.json"
+        mutated.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["diff", str(results), str(mutated)]) == 1
+        assert "down" in capsys.readouterr().out

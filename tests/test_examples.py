@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the fast examples are exercised here; the heavier ones
+(operator_playbook, synthesize_improved) are covered indirectly by the
+bench/synthesis tests and run as part of the benchmark suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "operator_playbook.py",
+        "new_algorithm.py",
+        "synthesize_improved.py",
+        "pcap_roundtrip.py",
+        "device_classification.py",
+        "online_gateway.py",
+    } <= names
+
+
+def test_pcap_roundtrip_example():
+    out = run_example("pcap_roundtrip.py")
+    assert "tables equal    : True" in out
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "precision" in out
+    assert "per-operation profile" in out
+    assert "Groupby" in out

@@ -1,0 +1,124 @@
+"""Tests for the trace builder."""
+
+import numpy as np
+import pytest
+
+from repro.net.headers import TCPFlags
+from repro.net.packet import LinkType
+from repro.net.table import PACKET_COLUMNS
+from repro.traffic.builder import TraceBuilder
+
+
+class TestRowHelpers:
+    def test_tcp_row(self):
+        builder = TraceBuilder()
+        builder.add_tcp(1.0, 10, 20, 1000, 80, payload_len=100,
+                        flags=int(TCPFlags.SYN), ttl=55)
+        table = builder.build()
+        assert len(table) == 1
+        assert table.src_ip[0] == 10
+        assert table.dst_port[0] == 80
+        assert table.proto[0] == 6
+        assert table.length[0] == 14 + 20 + 20 + 100
+        assert table.ttl[0] == 55
+        assert table.tcp_flags[0] == int(TCPFlags.SYN)
+
+    def test_udp_row(self):
+        builder = TraceBuilder()
+        builder.add_udp(0.0, 1, 2, 5353, 53, payload_len=30)
+        table = builder.build()
+        assert table.proto[0] == 17
+        assert table.length[0] == 14 + 20 + 8 + 30
+
+    def test_icmp_row(self):
+        builder = TraceBuilder()
+        builder.add_icmp(0.0, 1, 2, payload_len=56)
+        table = builder.build()
+        assert table.proto[0] == 1
+        assert table.length[0] == 14 + 20 + 8 + 56
+
+    def test_arp_row_is_non_ip(self):
+        builder = TraceBuilder()
+        builder.add_arp(0.0, 0xA, 0xB, sender_ip=1, target_ip=2)
+        table = builder.build()
+        assert table.l3[0] == 0
+        assert table.src_mac[0] == 0xA
+
+    def test_dot11_row(self):
+        builder = TraceBuilder()
+        builder.add_dot11(0.0, 0, 12, 0xA, 0xB, payload_len=2)
+        table = builder.build()
+        assert table.l2[0] == int(LinkType.IEEE802_11)
+        assert table.wlan_subtype[0] == 12
+        assert table.length[0] == 24 + 2
+
+    def test_attack_labelling(self):
+        builder = TraceBuilder()
+        builder.add_tcp(0.0, 1, 2, 3, 4)
+        builder.add_tcp(1.0, 1, 2, 3, 4, attack="scan")
+        builder.add_tcp(2.0, 1, 2, 3, 4, attack="flood")
+        table = builder.build()
+        assert table.label.tolist() == [0, 1, 1]
+        assert table.attacks == ["scan", "flood"]
+        assert table.attack_id.tolist() == [-1, 0, 1]
+
+    def test_attack_ids_deduplicated(self):
+        builder = TraceBuilder()
+        for i in range(5):
+            builder.add_tcp(float(i), 1, 2, 3, 4, attack="scan")
+        table = builder.build()
+        assert table.attacks == ["scan"]
+        assert (table.attack_id == 0).all()
+
+
+class TestCompoundHelpers:
+    def test_tcp_session_structure(self):
+        builder = TraceBuilder()
+        rng = np.random.default_rng(0)
+        end = builder.add_tcp_session(
+            0.0, 1, 2, 1000, 80,
+            request_sizes=[100, 200], response_sizes=[300],
+            rng=rng,
+        )
+        table = builder.build()
+        # SYN, SYN-ACK, ACK, 2 requests, 1 response, FIN, FIN = 8 packets
+        assert len(table) == 8
+        flags = table.tcp_flags
+        assert flags[0] == int(TCPFlags.SYN)
+        assert flags[1] == int(TCPFlags.SYN | TCPFlags.ACK)
+        fins = (flags & int(TCPFlags.FIN)) > 0
+        assert fins.sum() == 2
+        assert end >= table.ts.max()
+
+    def test_session_timestamps_monotone(self):
+        builder = TraceBuilder()
+        rng = np.random.default_rng(1)
+        builder.add_tcp_session(
+            5.0, 1, 2, 1000, 443,
+            request_sizes=[10] * 5, response_sizes=[20] * 5, rng=rng,
+        )
+        table = builder.build(sort=False)
+        assert np.all(np.diff(table.ts) > 0)
+
+    def test_udp_exchange(self):
+        builder = TraceBuilder()
+        rng = np.random.default_rng(2)
+        builder.add_udp_exchange(0.0, 1, 2, 5000, 53, 40, 120, rng)
+        table = builder.build()
+        assert len(table) == 2
+        assert table.src_ip[0] == 1 and table.src_ip[1] == 2
+        assert table.payload_len.tolist() == [40, 120]
+
+    def test_build_sorts_by_time(self):
+        builder = TraceBuilder()
+        builder.add_tcp(5.0, 1, 2, 3, 4)
+        builder.add_tcp(1.0, 1, 2, 3, 4)
+        table = builder.build()
+        assert table.ts.tolist() == [1.0, 5.0]
+
+    def test_all_columns_populated(self):
+        builder = TraceBuilder()
+        builder.add_tcp(0.0, 1, 2, 3, 4)
+        table = builder.build()
+        for name in PACKET_COLUMNS:
+            assert len(table.columns[name]) == 1

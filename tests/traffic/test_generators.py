@@ -1,0 +1,203 @@
+"""Tests for device models, attack generators and network scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.net.headers import Dot11Header, TCPFlags
+from repro.traffic import (
+    ATTACK_GENERATORS,
+    DEVICE_MODELS,
+    AttackSpec,
+    NetworkScenario,
+    TraceBuilder,
+)
+from repro.traffic.attacks import AttackContext
+from repro.traffic.devices import Device, Servers
+
+
+@pytest.fixture
+def servers():
+    return Servers(dns=0x08080808, ntp=0x08080404, cloud=[0x01020304],
+                   web=[0x05060708])
+
+
+@pytest.fixture
+def context_factory():
+    def make(duration=30.0, intensity=1.0, seed=0):
+        return AttackContext(
+            builder=TraceBuilder(),
+            rng=np.random.default_rng(seed),
+            t0=0.0,
+            t1=duration,
+            attacker_ips=[0xC0000201],
+            victim_ips=[0xC0A80110],
+            intensity=intensity,
+            gateway_ip=0xC0A80101,
+        )
+
+    return make
+
+
+class TestDeviceModels:
+    @pytest.mark.parametrize("model_name", sorted(DEVICE_MODELS))
+    def test_generates_benign_traffic(self, model_name, servers):
+        builder = TraceBuilder()
+        device = Device(ip=0xC0A80105, mac=0xAA, model=model_name)
+        model = DEVICE_MODELS[model_name]
+        model.generate(builder, device, servers, np.random.default_rng(1),
+                       0.0, 120.0, 1.0)
+        table = builder.build()
+        assert len(table) > 0
+        assert table.n_malicious == 0
+        # every packet involves the device
+        involved = (table.src_ip == device.ip) | (table.dst_ip == device.ip)
+        assert involved.all()
+
+    def test_camera_is_chattier_than_plug(self, servers):
+        counts = {}
+        for model_name in ("camera", "smart_plug"):
+            builder = TraceBuilder()
+            device = Device(ip=1, mac=2, model=model_name)
+            DEVICE_MODELS[model_name].generate(
+                builder, device, servers, np.random.default_rng(0),
+                0.0, 60.0, 1.0,
+            )
+            counts[model_name] = len(builder.build())
+        assert counts["camera"] > counts["smart_plug"] * 10
+
+    def test_intensity_scales_traffic(self, servers):
+        counts = []
+        for intensity in (0.5, 2.0):
+            builder = TraceBuilder()
+            device = Device(ip=1, mac=2, model="smart_hub")
+            DEVICE_MODELS["smart_hub"].generate(
+                builder, device, servers, np.random.default_rng(0),
+                0.0, 120.0, intensity,
+            )
+            counts.append(len(builder.build()))
+        assert counts[1] > counts[0]
+
+
+class TestAttackGenerators:
+    @pytest.mark.parametrize("attack_name", sorted(ATTACK_GENERATORS))
+    def test_emits_labelled_traffic_in_window(self, attack_name, context_factory):
+        ctx = context_factory()
+        ATTACK_GENERATORS[attack_name](ctx)
+        table = ctx.builder.build()
+        assert len(table) > 0, f"{attack_name} produced nothing"
+        assert (table.label == 1).all()
+        assert table.attacks == [attack_name]
+        assert table.ts.min() >= ctx.t0 - 1e-9
+
+    def test_syn_flood_is_mostly_syns(self, context_factory):
+        ctx = context_factory()
+        ATTACK_GENERATORS["dos_syn_flood"](ctx)
+        table = ctx.builder.build()
+        syn_frac = ((table.tcp_flags == int(TCPFlags.SYN)).mean())
+        assert syn_frac > 0.7
+
+    def test_port_scan_covers_many_ports(self, context_factory):
+        ctx = context_factory(intensity=1.0)
+        ATTACK_GENERATORS["port_scan"](ctx)
+        table = ctx.builder.build()
+        scanned = table.dst_port[table.src_ip == ctx.attacker_ips[0]]
+        assert len(np.unique(scanned)) > 500
+
+    def test_wifi_attacks_have_no_ip(self, context_factory):
+        for name in ("wifi_deauth", "wifi_eviltwin"):
+            ctx = context_factory()
+            ATTACK_GENERATORS[name](ctx)
+            table = ctx.builder.build()
+            assert (table.l3 == 0).all()
+            assert (table.l2 == 105).all()
+
+    def test_deauth_subtype(self, context_factory):
+        ctx = context_factory()
+        ATTACK_GENERATORS["wifi_deauth"](ctx)
+        table = ctx.builder.build()
+        assert (table.wlan_subtype == Dot11Header.SUBTYPE_DEAUTH).all()
+
+    def test_arp_mitm_targets_gateway_binding(self, context_factory):
+        ctx = context_factory()
+        ATTACK_GENERATORS["arp_mitm"](ctx)
+        table = ctx.builder.build()
+        assert (table.l3 == 0).all()
+        assert (table.src_mac == ctx.attacker_mac).all()
+
+    def test_intensity_scales_rate(self, context_factory):
+        low = context_factory(intensity=0.2)
+        high = context_factory(intensity=2.0)
+        ATTACK_GENERATORS["dos_udp_flood"](low)
+        ATTACK_GENERATORS["dos_udp_flood"](high)
+        assert len(high.builder.build()) > 3 * len(low.builder.build())
+
+    def test_attack_spec_validation(self):
+        with pytest.raises(ValueError):
+            AttackSpec("no_such_attack")
+        with pytest.raises(ValueError):
+            AttackSpec("port_scan", 0.8, 0.2)
+        with pytest.raises(ValueError):
+            AttackSpec("port_scan", -0.1, 0.5)
+
+
+class TestNetworkScenario:
+    def make(self, seed=0, **overrides):
+        base = dict(
+            name="test",
+            device_counts={"thermostat": 1, "workstation": 1},
+            duration=60.0,
+            seed=seed,
+            attacks=(AttackSpec("port_scan", 0.3, 0.6, intensity=0.1),),
+        )
+        base.update(overrides)
+        return NetworkScenario(**base)
+
+    def test_deterministic_in_seed(self):
+        first = self.make(seed=5).generate()
+        second = self.make(seed=5).generate()
+        assert first.equals(second)
+
+    def test_different_seeds_differ(self):
+        first = self.make(seed=5).generate()
+        second = self.make(seed=6).generate()
+        assert not first.equals(second)
+
+    def test_mixed_labels(self):
+        table = self.make().generate()
+        assert 0 < table.n_malicious < len(table)
+
+    def test_attack_window_respected(self):
+        table = self.make().generate()
+        malicious_ts = table.ts[table.label == 1]
+        assert malicious_ts.min() >= 60.0 * 0.3 - 1.0
+        assert malicious_ts.max() <= 60.0 * 0.6 + 1.0
+
+    def test_unknown_device_model_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkScenario(name="x", device_counts={"toaster": 1})
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkScenario(
+                name="x", device_counts={"camera": 1}, duration=0.0
+            )
+
+    def test_wifi_mode_produces_dot11_only(self):
+        scenario = NetworkScenario(
+            name="wifi", device_counts={"camera": 2}, duration=30.0,
+            wifi=True, seed=1,
+            attacks=(AttackSpec("wifi_deauth", 0.3, 0.6),),
+        )
+        table = scenario.generate()
+        assert (table.l2 == 105).all()
+        assert (table.l3 == 0).all()
+        assert table.n_malicious > 0
+
+    def test_devices_in_subnet(self):
+        from repro.net.addresses import in_prefix
+
+        scenario = self.make(subnet="10.9.8.0/24")
+        table = scenario.generate()
+        benign_sources = np.unique(table.src_ip[table.label == 0])
+        local = [ip for ip in benign_sources if in_prefix(int(ip), "10.9.8.0/24")]
+        assert local  # the devices live inside the requested subnet
