@@ -40,12 +40,12 @@ def _model(model_type: str, params: dict | None = None) -> list[dict]:
 
 def _scaled_model(model_type: str, params: dict | None = None) -> list[dict]:
     step = {"func": "model", "model_type": model_type, "input": None,
-            "output": "raw"}
+            "output": "base_clf"}
     if params:
         step["params"] = params
     return [
         step,
-        {"func": "WithScaler", "input": ["raw"], "output": "clf"},
+        {"func": "WithScaler", "input": ["base_clf"], "output": "clf"},
     ]
 
 

@@ -1,0 +1,108 @@
+"""Structured diagnostics emitted by the static template analyzer.
+
+Every problem the analyzer can find has a *stable code* (``L001`` ...)
+so tests, tooling and CI assert on codes rather than message wording,
+a :class:`Severity`, and an optional fix hint.  The full catalog of
+codes lives in :data:`CODES` and is documented, with minimal offending
+templates, in ``docs/TEMPLATES.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.errors import TemplateDiagnosticError
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is: errors block execution, warnings don't."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+#: every diagnostic code the analyzer can emit, with a short title.
+CODES: dict[str, str] = {
+    "L001": "empty or malformed template",
+    "L002": "step is not a mapping",
+    "L003": "step has no 'func'",
+    "L004": "unknown operation",
+    "L005": "step has no 'output'",
+    "L006": "bad input specification",
+    "L007": "parameter schema violation",
+    "L008": "wrong number of inputs",
+    "L009": "undefined input name",
+    "L010": "input type mismatch",
+    "L011": "duplicate output name",
+    "L012": "unused intermediate output (dead operation)",
+    "L013": "train before any model is instantiated",
+    "L014": "trained model is never applied",
+    "L015": "unknown model type",
+    "L016": "faithfulness violation",
+    "L017": "unsupported group-by flowid",
+    "L018": "invalid parameter value",
+    "L019": "requested output never produced",
+    "L020": "unknown dataset id",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    code: str
+    severity: Severity
+    message: str
+    step: int | None = None
+    operation: str | None = None
+    hint: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code: {self.code!r}")
+
+    def __str__(self) -> str:
+        where = ""
+        if self.step is not None:
+            where = f" step {self.step}"
+            if self.operation:
+                where += f" ({self.operation})"
+        text = f"{self.code} {self.severity.value}{where}: {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+
+@dataclass
+class AnalysisResult:
+    """All diagnostics from one analyzer run over one template."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the template may execute (warnings allowed)."""
+        return not self.errors
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return "no diagnostics"
+        return "\n".join(str(d) for d in self.diagnostics)
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`TemplateDiagnosticError` when any error exists."""
+        errors = self.errors
+        if errors:
+            raise TemplateDiagnosticError(errors)

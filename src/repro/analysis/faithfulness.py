@@ -1,0 +1,63 @@
+"""Faithfulness lint: group-by granularity vs dataset ground truth.
+
+The Lumen paper's faithfulness rule says an algorithm may only be
+evaluated on a dataset whose labels are at least as fine-grained as the
+algorithm's own aggregation granularity.  Given a dataset id, the
+analyzer derives each ``Groupby`` step's granularity from its flowid --
+the same mapping the runtime uses -- and checks it against the
+dataset's *declared* granularity, turning a silently-unfaithful
+evaluation into a compile-time error.  No traces are generated: only
+the dataset's registry entry is consulted.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.graph import TemplateGraph
+from repro.core.operations import GRANULARITY_BY_FLOWID
+
+
+def pass_faithfulness(
+    graph: TemplateGraph,
+    diagnostics: list[Diagnostic],
+    dataset_id: str,
+) -> None:
+    """Flag group-bys coarser than *dataset_id*'s label granularity."""
+    # lazy import: the analyzer core must not depend on the datasets
+    # package (which pulls in the traffic generator)
+    from repro.datasets.registry import DATASETS
+    from repro.flows.granularity import can_evaluate
+
+    spec = DATASETS.get(dataset_id)
+    if spec is None:
+        diagnostics.append(
+            Diagnostic(
+                "L020", Severity.ERROR,
+                f"unknown dataset id {dataset_id!r}",
+                hint=f"known datasets: {', '.join(sorted(DATASETS))}",
+            )
+        )
+        return
+
+    for node in graph.nodes:
+        if node.func != "Groupby":
+            continue
+        flowid = node.params.get("flowid")
+        if not isinstance(flowid, (list, tuple)):
+            continue  # already an L017
+        granularity = GRANULARITY_BY_FLOWID.get(tuple(flowid))
+        if granularity is None:
+            continue  # already an L017
+        if not can_evaluate(granularity, spec.granularity, strict=False):
+            diagnostics.append(
+                Diagnostic(
+                    "L016", Severity.ERROR,
+                    f"group-by granularity {granularity.name} is coarser "
+                    f"than dataset {dataset_id!r} ground truth "
+                    f"({spec.granularity.name}): evaluation would be "
+                    f"unfaithful",
+                    step=node.index, operation=node.func,
+                    hint="pick a finer flowid or a dataset with "
+                    "coarser-grained labels",
+                )
+            )

@@ -214,6 +214,45 @@ def _cmd_template(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LintTarget, analyze_template, collect_targets
+    from repro.core import TemplateError
+
+    try:
+        targets = list(collect_targets(args.paths))
+    except TemplateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.catalog:
+        from repro.algorithms import ALGORITHMS
+
+        targets.extend(
+            LintTarget(f"catalog:{algorithm_id}", spec.full_template())
+            for algorithm_id, spec in sorted(ALGORITHMS.items())
+        )
+    if not targets:
+        print("nothing to lint", file=sys.stderr)
+        return 2
+
+    total_errors = 0
+    total_warnings = 0
+    for target in targets:
+        result = analyze_template(target.template, dataset_id=args.dataset)
+        total_errors += len(result.errors)
+        total_warnings += len(result.warnings)
+        if result.diagnostics:
+            print(f"{target.label}:")
+            for diagnostic in result.diagnostics:
+                print(f"  {diagnostic}")
+        elif args.verbose:
+            print(f"{target.label}: ok")
+    print(
+        f"{len(targets)} template(s): {total_errors} error(s), "
+        f"{total_warnings} warning(s)"
+    )
+    return 1 if total_errors else 0
+
+
 def _cmd_run_template(args: argparse.Namespace) -> int:
     from repro.core import ExecutionEngine
     from repro.core.template_io import load_pipeline
@@ -307,6 +346,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "windowed-flow"])
     p.add_argument("--out", default="template.json")
     p.set_defaults(fn=_cmd_template)
+
+    p = sub.add_parser(
+        "lint",
+        help="statically analyze templates (no execution)")
+    p.add_argument("paths", nargs="*",
+                   help=".json templates, .py files with literal "
+                   "templates, or directories")
+    p.add_argument("--dataset", default=None,
+                   help="also run the faithfulness lint against this "
+                   "dataset id")
+    p.add_argument("--catalog", action="store_true",
+                   help="lint the full templates of all catalog "
+                   "algorithms")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("run-template",
                        help="validate and run a template file")

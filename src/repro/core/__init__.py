@@ -19,7 +19,11 @@ memory optimisation (dead-value elimination).
 """
 
 from repro.core.types import ValueType
-from repro.core.errors import PipelineError, TemplateError
+from repro.core.errors import (
+    PipelineError,
+    TemplateDiagnosticError,
+    TemplateError,
+)
 from repro.core.pipeline import Pipeline, OperationCall
 from repro.core.engine import ExecutionEngine
 from repro.core.operations import OPERATIONS, Operation, register_operation
@@ -35,6 +39,7 @@ from repro.core.template_io import (
 __all__ = [
     "ValueType",
     "PipelineError",
+    "TemplateDiagnosticError",
     "TemplateError",
     "Pipeline",
     "OperationCall",

@@ -168,6 +168,13 @@ class ExecutionEngine:
         ``source_token`` (e.g. the dataset id) to key the shared cache
         without hashing the trace content.
         """
+        # fail fast: even hand-constructed pipelines are statically
+        # analyzed before anything executes (lazy import: the analysis
+        # package imports this module's sibling, pipeline)
+        from repro.analysis import analyze_pipeline
+
+        analyze_pipeline(pipeline).raise_if_errors()
+
         wanted = outputs if outputs is not None else [pipeline.output_name]
         token = source_token or fingerprint_table(source)
         env: dict[str, Any] = {SOURCE_NAME: source}

@@ -9,8 +9,31 @@ class TemplateError(ValueError):
     connected operations.  Raised during validation, before execution."""
 
 
+class TemplateDiagnosticError(TemplateError):
+    """A template was rejected by the static analyzer.
+
+    Carries the analyzer's structured diagnostics (objects with stable
+    ``L0xx`` codes -- see :mod:`repro.analysis.diagnostics`) so callers
+    can inspect *what* failed programmatically instead of parsing the
+    message.
+    """
+
+    def __init__(self, diagnostics: list) -> None:
+        super().__init__("\n".join(str(d) for d in diagnostics))
+        self.diagnostics = list(diagnostics)
+
+    def codes(self) -> set[str]:
+        """The set of diagnostic codes carried by this error."""
+        return {d.code for d in self.diagnostics}
+
+
 class PipelineError(RuntimeError):
-    """An operation failed at execution time."""
+    """An operation failed at execution time.
+
+    Always raised with ``raise PipelineError(...) from cause`` at the
+    engine's raise site so the originating operation failure stays on
+    the traceback chain; the cause is also kept on ``.cause``.
+    """
 
     def __init__(self, operation: str, step: int, cause: Exception) -> None:
         super().__init__(

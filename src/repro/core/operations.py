@@ -150,6 +150,13 @@ def _resolve_field(name: str) -> str:
     return resolved
 
 
+#: public alias used by the static analyzer's parameter-value checks
+resolve_field = _resolve_field
+
+#: predicates accepted by FilterPackets (kept in sync with the op body)
+FILTER_PREDICATES = ("tcp", "udp", "icmp", "ip", "non_ip", "wlan")
+
+
 @register_operation(
     "FieldExtract",
     (ValueType.PACKETS,),
@@ -226,6 +233,9 @@ _GRANULARITY_BY_FLOWID: dict[tuple[str, ...], Granularity] = {
     ("5tuple",): Granularity.UNI_FLOW,
     ("connection",): Granularity.CONNECTION,
 }
+
+#: public alias used by the static analyzer's faithfulness pass
+GRANULARITY_BY_FLOWID = _GRANULARITY_BY_FLOWID
 
 
 @register_operation(
@@ -469,6 +479,37 @@ def _kitsune_features(inputs: list, params: dict) -> np.ndarray:
     from repro.core.incstats import kitsune_packet_features
 
     return kitsune_packet_features(inputs[0], tuple(params["lambdas"]))
+
+
+_AGGREGATE_SIMPLE = frozenset(
+    {"count", "duration", "bandwidth", "pps", "iat_mean", "iat_std",
+     "frac_fwd", "bytes_ratio"}
+)
+_AGGREGATE_COLUMN = frozenset(
+    {"mean", "std", "min", "max", "sum", "first", "last", "median",
+     "nunique", "entropy"}
+)
+
+
+def check_aggregate_spec(spec: object) -> None:
+    """Statically validate one ApplyAggregates spec string.
+
+    Raises :class:`TemplateError` for specs the runtime would reject,
+    so the analyzer can flag typos like ``entropy:warp_core`` before
+    any trace is generated.
+    """
+    if not isinstance(spec, str):
+        raise TemplateError(f"aggregate spec must be a string: {spec!r}")
+    head, _, arg = spec.partition(":")
+    if head in _AGGREGATE_SIMPLE:
+        return
+    if head in _AGGREGATE_COLUMN:
+        _resolve_field(arg)
+        return
+    if head in ("flag_frac", "flag_rate"):
+        _tcp_flag_bit(arg)
+        return
+    raise TemplateError(f"unknown aggregate spec: {spec!r}")
 
 
 _AGGREGATE_DOC = """Aggregate functions over grouped packets.

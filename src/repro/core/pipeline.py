@@ -80,7 +80,17 @@ class Pipeline:
 
     @classmethod
     def from_template(cls, template: list[dict]) -> "Pipeline":
-        """Parse + validate a template (the Figure 4 format)."""
+        """Parse + validate a template (the Figure 4 format).
+
+        The static analyzer runs first, so a bad template fails here --
+        with structured ``L0xx`` diagnostics on the raised
+        :class:`~repro.core.errors.TemplateDiagnosticError` -- before
+        any parsing, trace generation or execution.
+        """
+        # lazy import: repro.analysis imports this module
+        from repro.analysis import analyze_template
+
+        analyze_template(template).raise_if_errors()
         if not template:
             raise TemplateError("empty template")
         calls: list[OperationCall] = []

@@ -63,7 +63,12 @@ STARTER_TEMPLATES: dict[str, list[dict]] = {
 
 
 def save_template(template: list[dict], path: str | Path) -> None:
-    """Validate, then write a template as pretty JSON."""
+    """Validate, then write a template as pretty JSON.
+
+    Validation goes through :meth:`Pipeline.from_template`, which runs
+    the static analyzer -- a template that would fail ``repro lint``
+    never reaches disk.
+    """
     Pipeline.from_template(template)  # reject malformed templates early
     Path(path).write_text(json.dumps(template, indent=2) + "\n")
 

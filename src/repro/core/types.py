@@ -39,9 +39,23 @@ def infer_type(value: object) -> ValueType:
     if isinstance(value, FlowTable):
         return ValueType.FLOWS
     if isinstance(value, np.ndarray):
-        return ValueType.FEATURES if value.ndim == 2 else ValueType.LABELS
+        if value.ndim == 2:
+            return ValueType.FEATURES
+        if value.ndim == 1 and (
+            np.issubdtype(value.dtype, np.integer)
+            or value.dtype == np.bool_
+        ):
+            return ValueType.LABELS
+        # a 1-D float array is a feature *vector*, not labels; 0-D and
+        # >2-D arrays fit no pipeline type either
+        return ValueType.ANY
     if isinstance(value, dict):
-        return ValueType.METRICS
+        if all(
+            isinstance(key, str) and isinstance(val, (int, float, np.integer, np.floating))
+            for key, val in value.items()
+        ):
+            return ValueType.METRICS
+        return ValueType.ANY
     if hasattr(value, "fit") or hasattr(value, "predict"):
         return ValueType.MODEL
     return ValueType.ANY

@@ -46,15 +46,57 @@ class TestExecution:
             )
 
     def test_operation_failure_wrapped(self, small_trace):
-        template = TEMPLATE[:1] + [
-            {"func": "ApplyAggregates", "input": ["flows"], "output": "X",
-             "list": ["bogus:length"]},
+        # statically well-typed, but the two feature matrices have
+        # different row counts -- only the runtime can see that
+        template = [
+            {"func": "Groupby", "input": None, "output": "flows",
+             "flowid": ["connection"]},
+            {"func": "Groupby", "input": None, "output": "uni",
+             "flowid": ["5tuple"]},
+            {"func": "ApplyAggregates", "input": ["flows"], "output": "A",
+             "list": ["count"]},
+            {"func": "ApplyAggregates", "input": ["uni"], "output": "B",
+             "list": ["count"]},
+            {"func": "ConcatFeatures", "input": ["A", "B"], "output": "X"},
         ]
         engine = ExecutionEngine(track_memory=False)
         with pytest.raises(PipelineError) as info:
             engine.run(Pipeline.from_template(template), small_trace)
-        assert info.value.operation == "ApplyAggregates"
-        assert info.value.step == 1
+        assert info.value.operation == "ConcatFeatures"
+        assert info.value.step == 4
+
+    def test_operation_failure_chains_cause(self, small_trace):
+        template = [
+            {"func": "Groupby", "input": None, "output": "flows",
+             "flowid": ["connection"]},
+            {"func": "Groupby", "input": None, "output": "uni",
+             "flowid": ["5tuple"]},
+            {"func": "ApplyAggregates", "input": ["flows"], "output": "A",
+             "list": ["count"]},
+            {"func": "ApplyAggregates", "input": ["uni"], "output": "B",
+             "list": ["count"]},
+            {"func": "ConcatFeatures", "input": ["A", "B"], "output": "X"},
+        ]
+        engine = ExecutionEngine(track_memory=False)
+        with pytest.raises(PipelineError) as info:
+            engine.run(Pipeline.from_template(template), small_trace)
+        # raised with `raise ... from cause`: the original failure is
+        # both on the traceback chain and on the .cause attribute
+        assert info.value.__cause__ is not None
+        assert info.value.__cause__ is info.value.cause
+
+    def test_bad_aggregate_caught_statically(self):
+        # what used to be a runtime PipelineError is now rejected by
+        # the static analyzer before anything executes
+        from repro.core import TemplateDiagnosticError
+
+        template = TEMPLATE[:1] + [
+            {"func": "ApplyAggregates", "input": ["flows"], "output": "X",
+             "list": ["bogus:length"]},
+        ]
+        with pytest.raises(TemplateDiagnosticError) as info:
+            Pipeline.from_template(template)
+        assert "L018" in info.value.codes()
 
 
 class TestCaching:

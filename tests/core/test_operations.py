@@ -24,7 +24,8 @@ class TestPacketOps:
         assert (out["tcp"].proto == 6).all()
 
     def test_filter_unknown_predicate(self, small_trace):
-        with pytest.raises(PipelineError):
+        # rejected by the static analyzer before any packet is touched
+        with pytest.raises(TemplateError, match="carrier_pigeon"):
             run_ops(
                 small_trace,
                 [{"func": "FilterPackets", "input": None, "output": "x",
@@ -48,7 +49,7 @@ class TestPacketOps:
         assert len(out["same"]) == len(small_trace)
 
     def test_field_extract_rejects_unknown_field(self, small_trace):
-        with pytest.raises(PipelineError):
+        with pytest.raises(TemplateError, match="warp_factor"):
             run_ops(
                 small_trace,
                 [{"func": "FieldExtract", "input": None, "output": "x",
@@ -93,7 +94,7 @@ class TestGroupingOps:
         assert len(out["flows"]) == len(assemble_unidirectional(small_trace))
 
     def test_groupby_bad_flowid(self, small_trace):
-        with pytest.raises(PipelineError):
+        with pytest.raises(TemplateError, match="flowid"):
             run_ops(
                 small_trace,
                 [{"func": "Groupby", "input": None, "output": "flows",
@@ -118,7 +119,7 @@ class TestGroupingOps:
         assert (sliced.durations <= 5.0 + 1e-9).all()
 
     def test_time_slice_rejects_nonpositive_window(self, small_trace):
-        with pytest.raises(PipelineError):
+        with pytest.raises(TemplateError, match="window"):
             run_ops(
                 small_trace,
                 [
@@ -180,15 +181,15 @@ class TestAggregateOps:
         assert (X >= 0).all() and (X <= 1).all()
 
     def test_unknown_spec_rejected(self, small_trace):
-        with pytest.raises(PipelineError):
+        with pytest.raises(TemplateError, match="harmonic"):
             self.agg(small_trace, ["harmonic:length"])
 
     def test_unknown_flag_rejected(self, small_trace):
-        with pytest.raises(PipelineError):
+        with pytest.raises(TemplateError, match="WARP"):
             self.agg(small_trace, ["flag_frac:WARP"])
 
     def test_empty_spec_list_rejected(self, small_trace):
-        with pytest.raises(PipelineError):
+        with pytest.raises(TemplateError, match="non-empty"):
             self.agg(small_trace, [])
 
     def test_iat_mean_nonnegative(self, small_trace):
@@ -270,7 +271,7 @@ class TestFeatureOps:
         assert X.shape[1] > 100
 
     def test_nprint_unknown_layer(self, small_trace):
-        with pytest.raises(PipelineError):
+        with pytest.raises(TemplateError, match="ipx"):
             run_ops(
                 small_trace,
                 [{"func": "NprintEncode", "input": None, "output": "X",
@@ -374,7 +375,7 @@ class TestModelOps:
         assert out["m"]["precision"] > 0.9  # training-set fit
 
     def test_unknown_model_type(self, small_trace):
-        with pytest.raises(PipelineError):
+        with pytest.raises(TemplateError, match="QuantumForest"):
             run_ops(
                 small_trace,
                 [{"func": "model", "model_type": "QuantumForest",

@@ -20,10 +20,24 @@ class TestInferType:
 
     def test_features_vs_labels(self):
         assert infer_type(np.zeros((3, 2))) is ValueType.FEATURES
-        assert infer_type(np.zeros(3)) is ValueType.LABELS
+        assert infer_type(np.zeros(3, dtype=np.int64)) is ValueType.LABELS
+        assert infer_type(np.zeros(3, dtype=bool)) is ValueType.LABELS
+
+    def test_float_vector_is_not_labels(self):
+        # a 1-D float array is a feature vector, not a label array
+        assert infer_type(np.zeros(3)) is ValueType.ANY
+
+    def test_odd_array_shapes_are_any(self):
+        assert infer_type(np.float64(1.0).reshape(())) is ValueType.ANY
+        assert infer_type(np.zeros((2, 2, 2))) is ValueType.ANY
 
     def test_metrics(self):
         assert infer_type({"precision": 1.0}) is ValueType.METRICS
+        assert infer_type({"n": 3, "f1": np.float64(0.5)}) is ValueType.METRICS
+
+    def test_non_numeric_dict_is_not_metrics(self):
+        assert infer_type({"arrays": np.zeros(3)}) is ValueType.ANY
+        assert infer_type({1: 2.0}) is ValueType.ANY
 
     def test_model(self):
         assert infer_type(GaussianNB()) is ValueType.MODEL
@@ -40,7 +54,7 @@ class TestCheckType:
         check_type(object(), ValueType.ANY, "here")
 
     def test_labels_predictions_interchangeable(self):
-        check_type(np.zeros(3), ValueType.PREDICTIONS, "here")
+        check_type(np.zeros(3, dtype=np.int64), ValueType.PREDICTIONS, "here")
 
     def test_rejects_mismatch(self):
         with pytest.raises(TypeError, match="expected a flows"):

@@ -1,0 +1,146 @@
+"""Tests for the repo-wide AST lint gate (tools/astlint.py)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+ASTLINT = REPO_ROOT / "tools" / "astlint.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import astlint  # noqa: E402
+
+
+def violations_for(tmp_path, source):
+    path = tmp_path / "module.py"
+    path.write_text(source)
+    return astlint.lint_file(path)
+
+
+class TestUnseededRandomness:
+    def test_legacy_global_rng_flagged(self, tmp_path):
+        found = violations_for(
+            tmp_path, "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        assert [v.code for v in found] == ["AL001"]
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        found = violations_for(
+            tmp_path, "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        assert [v.code for v in found] == ["AL001"]
+
+    def test_seeded_default_rng_ok(self, tmp_path):
+        found = violations_for(
+            tmp_path, "import numpy as np\nrng = np.random.default_rng(7)\n"
+        )
+        assert found == []
+
+    def test_stdlib_global_rng_flagged(self, tmp_path):
+        found = violations_for(
+            tmp_path, "import random\nx = random.choice([1, 2])\n"
+        )
+        assert [v.code for v in found] == ["AL001"]
+
+    def test_seeded_random_instance_ok(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "import random\nrng = random.Random(7)\nx = rng.choice([1])\n",
+        )
+        assert found == []
+
+    def test_pragma_disables_line(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # astlint: disable\n",
+        )
+        assert found == []
+
+
+class TestMutableDefaults:
+    def test_list_literal_default_flagged(self, tmp_path):
+        found = violations_for(tmp_path, "def f(xs=[]):\n    return xs\n")
+        assert [v.code for v in found] == ["AL002"]
+
+    def test_dict_call_default_flagged(self, tmp_path):
+        found = violations_for(tmp_path, "def f(m=dict()):\n    return m\n")
+        assert [v.code for v in found] == ["AL002"]
+
+    def test_kwonly_default_flagged(self, tmp_path):
+        found = violations_for(
+            tmp_path, "def f(*, xs={1: 2}):\n    return xs\n"
+        )
+        assert [v.code for v in found] == ["AL002"]
+
+    def test_none_default_ok(self, tmp_path):
+        found = violations_for(tmp_path, "def f(xs=None):\n    return xs\n")
+        assert found == []
+
+
+class TestRegisterOperation:
+    HEADER = (
+        "import numpy as np\n"
+        "from repro.core.operations import register_operation\n"
+        "from repro.core.types import ValueType\n"
+    )
+
+    def test_annotation_mismatch_flagged(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            self.HEADER
+            + "@register_operation('X', (ValueType.PACKETS,),"
+            " ValueType.FEATURES)\n"
+            "def _x(inputs, params) -> PacketTable:\n    return inputs[0]\n",
+        )
+        assert [v.code for v in found] == ["AL003"]
+
+    def test_matching_annotation_ok(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            self.HEADER
+            + "@register_operation('X', (ValueType.PACKETS,),"
+            " ValueType.FEATURES)\n"
+            "def _x(inputs, params) -> np.ndarray:\n"
+            "    return np.zeros((1, 1))\n",
+        )
+        assert found == []
+
+    def test_wrong_arity_flagged(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            self.HEADER
+            + "@register_operation('X', (ValueType.PACKETS,),"
+            " ValueType.ANY)\n"
+            "def _x(inputs) -> object:\n    return inputs[0]\n",
+        )
+        assert [v.code for v in found] == ["AL003"]
+
+
+class TestGate:
+    def test_fixtures_directories_skipped(self, tmp_path):
+        fixture_dir = tmp_path / "fixtures"
+        fixture_dir.mkdir()
+        (fixture_dir / "noise.py").write_text(
+            "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        assert astlint.iter_python_files([str(tmp_path)]) == []
+
+    def test_cli_exit_codes(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(xs=[]):\n    return xs\n")
+        proc = subprocess.run(
+            [sys.executable, str(ASTLINT), str(bad)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "AL002" in proc.stdout
+
+    def test_repo_is_clean(self):
+        proc = subprocess.run(
+            [sys.executable, str(ASTLINT), "src", "tests", "examples",
+             "tools"],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout

@@ -36,6 +36,70 @@ class TestInventoryCommands:
         assert "-> flows" in out
 
 
+class TestLintCommand:
+    GOOD = [
+        {"func": "Groupby", "input": None, "output": "flows",
+         "flowid": ["connection"]},
+        {"func": "Labels", "input": ["flows"], "output": "y"},
+    ]
+
+    def test_lint_clean_template(self, tmp_path, capsys):
+        path = tmp_path / "good.json"
+        path.write_text(json.dumps(self.GOOD))
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_lint_bad_template_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(
+            [{"func": "Teleport", "input": None, "output": "x"}]
+        ))
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "L004" in out
+
+    def test_lint_catalog_is_clean(self, capsys):
+        assert main(["lint", "--catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "16 template(s)" in out
+
+    def test_lint_faithfulness_flag(self, tmp_path, capsys):
+        path = tmp_path / "conn.json"
+        path.write_text(json.dumps(self.GOOD))
+        assert main(["lint", str(path), "--dataset", "F0"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(path), "--dataset", "P0"]) == 1
+        out = capsys.readouterr().out
+        assert "L016" in out
+
+    def test_lint_nothing_to_lint(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_lint_malformed_json_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("not json {")
+        assert main(["lint", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "broken.json" in err
+
+    def test_lint_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.json")]) == 1
+
+    def test_lint_python_file(self, tmp_path, capsys):
+        path = tmp_path / "module.py"
+        path.write_text(
+            "TEMPLATE = [\n"
+            "    {'func': 'Groupby', 'input': None, 'output': 'flows',\n"
+            "     'flowid': ['connection']},\n"
+            "    {'func': 'Labels', 'input': ['flows'], 'output': 'y'},\n"
+            "]\n"
+        )
+        assert main(["lint", str(path), "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "TEMPLATE" in out
+
+
 class TestEvaluationCommands:
     def test_evaluate_same_dataset(self, capsys):
         assert main(["evaluate", "A14", "F0"]) == 0

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Repo-wide AST lint gate (stdlib only, no imports of the repo).
+
+Rules:
+
+* **AL001** -- unseeded randomness: calls to the legacy global numpy
+  RNG (``np.random.rand`` etc.), ``np.random.default_rng()`` with no
+  seed, or the stdlib ``random`` module's global functions.  Every
+  experiment in this repo must be reproducible, so randomness flows
+  from explicitly-seeded ``Generator`` objects.
+* **AL002** -- mutable default argument: a list/dict/set literal (or
+  bare ``list()``/``dict()``/``set()`` call) as a parameter default.
+* **AL003** -- a ``@register_operation`` declaration whose declared
+  ``output_type`` contradicts the decorated function's return
+  annotation, or whose function does not take the operation calling
+  convention's two arguments ``(inputs, params)``.
+
+Paths whose components include ``fixtures`` are skipped, as is any
+line carrying an ``# astlint: disable`` comment.
+
+Usage:  python tools/astlint.py SRC_DIR [MORE_DIRS_OR_FILES...]
+Exit status 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: np.random attributes that use the unseeded process-global RNG
+_LEGACY_NP_RANDOM = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "poisson", "exponential", "binomial", "beta",
+    "gamma", "bytes",
+}
+
+#: stdlib random module functions drawing from its global instance
+_STDLIB_RANDOM = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "expovariate",
+    "betavariate", "gammavariate", "triangular", "getrandbits",
+    "randbytes",
+}
+
+#: declared ValueType -> acceptable return-annotation spellings.
+#: ``None`` means any annotation (or none) is fine.
+_RETURN_ANNOTATIONS = {
+    "PACKETS": {"PacketTable"},
+    "FLOWS": {"FlowTable"},
+    "FEATURES": {"np.ndarray", "numpy.ndarray", "ndarray"},
+    "LABELS": {"np.ndarray", "numpy.ndarray", "ndarray"},
+    "PREDICTIONS": {"np.ndarray", "numpy.ndarray", "ndarray"},
+    "MODEL": {"object"},
+    "METRICS": None,  # checked by prefix: dict[...]
+    "ANY": None,
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: Path
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render an attribute/name chain like ``np.random.rand``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _check_randomness(tree: ast.AST, path: Path, out: list[Violation]) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        parts = dotted.split(".")
+        # np.random.rand(...) / numpy.random.shuffle(...)
+        if (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] in _LEGACY_NP_RANDOM
+        ):
+            out.append(Violation(
+                path, node.lineno, "AL001",
+                f"call to unseeded global RNG: {dotted}() -- use a "
+                f"seeded np.random.default_rng(seed)",
+            ))
+        # np.random.default_rng() with no seed argument
+        elif (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] == "default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            out.append(Violation(
+                path, node.lineno, "AL001",
+                "np.random.default_rng() without a seed is "
+                "entropy-seeded -- pass an explicit seed",
+            ))
+        # random.choice(...) etc. from the stdlib global instance
+        elif (
+            len(parts) == 2
+            and parts[0] == "random"
+            and parts[1] in _STDLIB_RANDOM
+        ):
+            out.append(Violation(
+                path, node.lineno, "AL001",
+                f"call to the stdlib global RNG: {dotted}() -- use "
+                f"random.Random(seed) or a numpy Generator",
+            ))
+
+
+def _check_mutable_defaults(
+    tree: ast.AST, path: Path, out: list[Violation]
+) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            ):
+                mutable = True
+            if mutable:
+                out.append(Violation(
+                    path, default.lineno, "AL002",
+                    f"mutable default argument in {node.name}() -- "
+                    f"default to None and create inside the function",
+                ))
+
+
+def _decorator_output_type(decorator: ast.Call) -> tuple[str | None, int]:
+    """Extract the declared output ValueType name from the decorator."""
+    node = None
+    if len(decorator.args) >= 3:
+        node = decorator.args[2]
+    else:
+        for keyword in decorator.keywords:
+            if keyword.arg == "output_type":
+                node = keyword.value
+    dotted = _dotted(node) if node is not None else None
+    if dotted and dotted.startswith("ValueType."):
+        return dotted.split(".", 1)[1], getattr(node, "lineno", decorator.lineno)
+    return None, decorator.lineno
+
+
+def _check_register_operation(
+    tree: ast.AST, path: Path, out: list[Violation]
+) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            if _dotted(decorator.func) != "register_operation":
+                continue
+            args = node.args
+            n_args = len(args.posonlyargs) + len(args.args)
+            if n_args != 2 or args.vararg or args.kwonlyargs:
+                out.append(Violation(
+                    path, node.lineno, "AL003",
+                    f"{node.name}() must take exactly (inputs, params) "
+                    f"-- the operation calling convention",
+                ))
+            declared, line = _decorator_output_type(decorator)
+            if declared is None:
+                continue
+            annotation = (
+                ast.unparse(node.returns) if node.returns is not None else None
+            )
+            allowed = _RETURN_ANNOTATIONS.get(declared)
+            ok = (
+                annotation is None
+                or declared == "ANY"
+                or (declared == "METRICS" and annotation.startswith("dict"))
+                or (allowed is not None and annotation in allowed)
+            )
+            if not ok:
+                out.append(Violation(
+                    path, line, "AL003",
+                    f"{node.name}() declares output_type "
+                    f"ValueType.{declared} but is annotated "
+                    f"'-> {annotation}'",
+                ))
+
+
+def lint_file(path: Path) -> list[Violation]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 0, "AL000",
+                          f"syntax error: {exc.msg}")]
+    violations: list[Violation] = []
+    _check_randomness(tree, path, violations)
+    _check_mutable_defaults(tree, path, violations)
+    _check_register_operation(tree, path, violations)
+    disabled = {
+        number
+        for number, text in enumerate(source.splitlines(), start=1)
+        if "# astlint: disable" in text
+    }
+    return [v for v in violations if v.line not in disabled]
+
+
+def iter_python_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return [f for f in files if "fixtures" not in f.parts]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to lint")
+    args = parser.parse_args(argv)
+    violations: list[Violation] = []
+    files = iter_python_files(args.paths)
+    for path in files:
+        violations.extend(lint_file(path))
+    for violation in violations:
+        print(violation)
+    print(f"{len(files)} file(s): {len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
