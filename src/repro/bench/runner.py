@@ -22,6 +22,8 @@ from repro.flows import Granularity, can_evaluate
 from repro.ml import classification_summary
 from repro.ml.model_selection import stratified_split_indices
 from repro.ml.metrics import precision_score, recall_score
+from repro.obs import METRICS, get_tracer
+from repro.obs import metrics as metric_names
 
 
 def faithful_pairs(
@@ -60,12 +62,15 @@ def _featurize_with_attacks(
     dataset_id: str,
     engine: ExecutionEngine,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[str]]:
-    table = load_dataset(dataset_id)
-    pipeline = Pipeline.from_template(_units_template(spec))
-    out = engine.run(
-        pipeline, table, outputs=["X", "y", "attack_ids"],
-        source_token=dataset_id,
-    )
+    with get_tracer().span(
+        "featurize", algorithm=spec.algorithm_id, dataset=dataset_id
+    ):
+        table = load_dataset(dataset_id)
+        pipeline = Pipeline.from_template(_units_template(spec))
+        out = engine.run(
+            pipeline, table, outputs=["X", "y", "attack_ids"],
+            source_token=dataset_id,
+        )
     return out["X"], np.asarray(out["y"]), np.asarray(out["attack_ids"]), table.attacks
 
 
@@ -131,12 +136,30 @@ class BenchmarkRunner:
                     f"({spec.granularity.name}) on {dataset_id} "
                     f"({dataset.granularity.name})"
                 )
+        mode = "same" if train_id == test_id else "cross"
         started = time.perf_counter()
-        if train_id == test_id:
-            result = self._evaluate_same(spec, train_id)
-        else:
-            result = self._evaluate_cross(spec, train_id, test_id)
+        with get_tracer().span(
+            "evaluate",
+            algorithm=algorithm_id,
+            train_dataset=train_id,
+            test_dataset=test_id,
+            mode=mode,
+        ) as span:
+            if mode == "same":
+                result = self._evaluate_same(spec, train_id)
+            else:
+                result = self._evaluate_cross(spec, train_id, test_id)
+            span.set("precision", result["precision"])
+            span.set("recall", result["recall"])
+            span.set("f1", result["f1"])
         elapsed = time.perf_counter() - started
+        METRICS.counter(
+            metric_names.EVALUATIONS_COMPLETED,
+            "(algorithm, train, test) evaluations completed",
+        ).inc()
+        METRICS.histogram(
+            metric_names.EVALUATION_SECONDS, "wall seconds per evaluation"
+        ).observe(elapsed)
         record = EvaluationResult(seconds=round(elapsed, 4), **result)
         self.store.add(record)
         return record
@@ -150,10 +173,13 @@ class BenchmarkRunner:
         )
         X_train, X_test = X[idx_train], X[idx_test]
         y_train, y_test = y[idx_train], y[idx_test]
+        tracer = get_tracer()
         model = spec.build_model()
-        model.fit(X_train, y_train)
-        predictions = np.asarray(model.predict(X_test))
-        metrics = classification_summary(y_test, predictions)
+        with tracer.span("train", samples=len(y_train)):
+            model.fit(X_train, y_train)
+        with tracer.span("test", samples=len(y_test)):
+            predictions = np.asarray(model.predict(X_test))
+            metrics = classification_summary(y_test, predictions)
         return {
             "algorithm": spec.algorithm_id,
             "train_dataset": dataset_id,
@@ -177,10 +203,13 @@ class BenchmarkRunner:
         X_test, y_test, attack_ids, attack_names = _featurize_with_attacks(
             spec, test_id, self.engine
         )
+        tracer = get_tracer()
         model = spec.build_model()
-        model.fit(X_train, y_train)
-        predictions = np.asarray(model.predict(X_test))
-        metrics = classification_summary(y_test, predictions)
+        with tracer.span("train", samples=len(y_train)):
+            model.fit(X_train, y_train)
+        with tracer.span("test", samples=len(y_test)):
+            predictions = np.asarray(model.predict(X_test))
+            metrics = classification_summary(y_test, predictions)
         return {
             "algorithm": spec.algorithm_id,
             "train_dataset": train_id,

@@ -8,7 +8,15 @@ The operator-facing surface of the benchmarking suite:
 * ``figure`` -- render any Section 5 figure from saved results;
 * ``validate`` -- the Section 5.2 validation table;
 * ``profile`` -- per-operation time/memory for one featurization;
-* ``synthesize`` -- the Section 5.4 greedy AM search.
+* ``synthesize`` -- the Section 5.4 greedy AM search;
+* ``trace`` -- run any repro command and print its span tree (or
+  render a saved ``.jsonl`` trace file);
+* ``metrics`` -- the process metrics registry, optionally after
+  running a command.
+
+Commands that execute pipelines (``evaluate``, ``matrix``, ``profile``,
+``run-template``, ``validate``) accept ``--trace PATH`` to export the
+run's spans as JSONL (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -253,6 +261,47 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if total_errors else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import RingBufferSink, TreeRenderer, get_tracer, read_trace
+
+    if not args.run:
+        print("usage: repro trace <file.jsonl | command ...>",
+              file=sys.stderr)
+        return 2
+    renderer = TreeRenderer(show_events=args.events)
+    if len(args.run) == 1 and os.path.isfile(args.run[0]):
+        try:
+            events = read_trace(args.run[0])
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(renderer.render(events))
+        return 0
+    sink = RingBufferSink(capacity=None)
+    tracer = get_tracer()
+    tracer.add_sink(sink)
+    try:
+        code = main(list(args.run))
+    finally:
+        tracer.remove_sink(sink)
+    print()
+    print(renderer.render(sink.events()))
+    return code
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import get_metrics
+
+    code = 0
+    if args.run:
+        code = main(list(args.run))
+        print()
+    print(get_metrics().render_prometheus() or "(no metrics recorded)")
+    return code
+
+
 def _cmd_run_template(args: argparse.Namespace) -> int:
     from repro.core import ExecutionEngine
     from repro.core.template_io import load_pipeline
@@ -292,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("train")
     p.add_argument("test", nargs="?", default=None)
     p.add_argument("--seed", type=int, default=0)
+    _add_trace_flag(p)
     p.set_defaults(fn=_cmd_evaluate)
 
     p = sub.add_parser("matrix", help="run the faithful evaluation matrix")
@@ -301,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="results.json")
     p.add_argument("--csv", default=None)
     p.add_argument("--seed", type=int, default=0)
+    _add_trace_flag(p)
     p.set_defaults(fn=_cmd_matrix)
 
     p = sub.add_parser("figure", help="render a figure from saved results")
@@ -314,11 +365,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("validate", help="the Section 5.2 validation table")
     p.add_argument("--quick", action="store_true")
+    _add_trace_flag(p)
     p.set_defaults(fn=_cmd_validate)
 
     p = sub.add_parser("profile", help="profile one featurization")
     p.add_argument("algorithm")
     p.add_argument("dataset")
+    _add_trace_flag(p)
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("inspect", help="operator summary of one dataset")
@@ -366,7 +419,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="validate and run a template file")
     p.add_argument("template")
     p.add_argument("dataset")
+    _add_trace_flag(p)
     p.set_defaults(fn=_cmd_run_template)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a repro command and print its span tree, or render "
+        "a saved .jsonl trace file")
+    p.add_argument("--events", action="store_true",
+                   help="include point events (cache hits, traffic "
+                   "builds) in the tree")
+    p.add_argument("run", nargs=argparse.REMAINDER,
+                   help="a trace file, or a repro command line")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="print the process metrics registry (Prometheus text "
+        "format), optionally after running a command")
+    p.add_argument("run", nargs=argparse.REMAINDER,
+                   help="optional repro command to run first")
+    p.set_defaults(fn=_cmd_metrics)
 
     p = sub.add_parser("synthesize", help="greedy AM synthesis (Sec. 5.4)")
     p.add_argument("--datasets", default="F0,F1,F4,F6")
@@ -380,9 +453,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="export this run's spans as JSONL to PATH")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    sink = None
+    if getattr(args, "trace", None):
+        from repro.obs import JsonlFileSink, get_tracer
+
+        sink = JsonlFileSink(args.trace)
+        get_tracer().add_sink(sink)
+    try:
+        return args.fn(args)
+    finally:
+        if sink is not None:
+            from repro.obs import get_tracer
+
+            get_tracer().remove_sink(sink)
+            sink.close()
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
 import tracemalloc
 from collections import OrderedDict
@@ -35,15 +36,25 @@ from repro.core.pipeline import Pipeline, SOURCE_NAME
 from repro.core.profiling import OperationProfile, ProfileReport
 from repro.core.types import ValueType, check_type
 from repro.net.table import PacketTable
+from repro.obs import METRICS, get_tracer
+from repro.obs import metrics as metric_names
 
 
 def fingerprint_table(table: PacketTable) -> str:
     """A content hash of a trace, used as the cache root key."""
     digest = hashlib.sha1()
+    hashed_bytes = 0
     for name in sorted(table.columns):
+        payload = table.columns[name].tobytes()
         digest.update(name.encode())
-        digest.update(table.columns[name].tobytes())
-    digest.update("|".join(table.attacks).encode())
+        digest.update(payload)
+        hashed_bytes += len(name) + len(payload)
+    attacks = "|".join(table.attacks).encode()
+    digest.update(attacks)
+    METRICS.counter(
+        metric_names.BYTES_FINGERPRINTED,
+        "bytes hashed while fingerprinting source traces",
+    ).inc(hashed_bytes + len(attacks))
     return digest.hexdigest()
 
 
@@ -67,20 +78,38 @@ class _ResultCache:
         self.max_entries = max_entries
         self.disk_dir = disk_dir or os.environ.get("REPRO_DISK_CACHE")
         self._store: OrderedDict[str, Any] = OrderedDict()
+        # one lock covers the LRU dict and the stat counters: parallel
+        # mode calls get/put from pool threads
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        METRICS.counter(metric_names.CACHE_HITS,
+                        "result-cache lookups served from memory or disk")
+        METRICS.counter(metric_names.CACHE_MISSES,
+                        "result-cache lookups that missed")
+        METRICS.counter(metric_names.CACHE_DISK_HITS,
+                        "result-cache lookups served from the disk tier")
+        METRICS.counter(metric_names.CACHE_EVICTIONS,
+                        "entries evicted from the result-cache LRU")
 
     def _disk_path(self, key: str):
         from pathlib import Path
 
         return Path(self.disk_dir) / f"{key}.npz"
 
+    def _count(self, name: str, event: str, key: str) -> None:
+        METRICS.counter(name).inc()
+        get_tracer().event(f"cache.{event}", key=key)
+
     def get(self, key: str) -> tuple[bool, Any]:
-        if key in self._store:
-            self._store.move_to_end(key)
-            self.hits += 1
-            return True, self._store[key]
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.hits += 1
+                value = self._store[key]
+                self._count(metric_names.CACHE_HITS, "hit", key)
+                return True, value
         if self.disk_dir:
             path = self._disk_path(key)
             if path.exists():
@@ -92,18 +121,32 @@ class _ResultCache:
                 except (OSError, KeyError, ValueError):
                     value = None
                 if value is not None:
-                    self.hits += 1
-                    self.disk_hits += 1
+                    with self._lock:
+                        self.hits += 1
+                        self.disk_hits += 1
+                    self._count(metric_names.CACHE_HITS, "hit", key)
+                    self._count(metric_names.CACHE_DISK_HITS, "disk_hit", key)
                     self.put(key, value, write_disk=False)
                     return True, value
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
+        self._count(metric_names.CACHE_MISSES, "miss", key)
         return False, None
 
     def put(self, key: str, value: Any, *, write_disk: bool = True) -> None:
-        self._store[key] = value
-        self._store.move_to_end(key)
-        while len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
+        evicted: list[str] = []
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.max_entries:
+                victim, _ = self._store.popitem(last=False)
+                evicted.append(victim)
+            METRICS.gauge(
+                metric_names.CACHE_ENTRIES,
+                "live entries in the shared result cache",
+            ).set(len(self._store))
+        for victim in evicted:
+            self._count(metric_names.CACHE_EVICTIONS, "evict", victim)
         if self.disk_dir and write_disk:
             import numpy as _np
 
@@ -114,10 +157,12 @@ class _ResultCache:
                 _np.savez_compressed(self._disk_path(key), value=value)
 
     def clear(self) -> None:
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+            self.disk_hits = 0
+            METRICS.gauge(metric_names.CACHE_ENTRIES).set(0)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -182,19 +227,34 @@ class ExecutionEngine:
         last_use = pipeline.consumers()
         report = ProfileReport()
 
-        if self.parallel:
-            # tracemalloc state is process-global; per-step memory
-            # tracking is meaningless (and racy) across threads.
-            previous = self.track_memory
-            self.track_memory = False
-            try:
-                self._run_parallel(pipeline, env, keys, wanted, last_use, report)
-            finally:
-                self.track_memory = previous
-        else:
-            for index, call in enumerate(pipeline.calls):
-                self._run_step(index, call, env, keys, report)
-                self._collect_garbage(index, env, last_use, wanted)
+        tracer = get_tracer()
+        with tracer.span(
+            "run",
+            source=token,
+            steps=len(pipeline.calls),
+            parallel=self.parallel,
+            outputs=",".join(wanted),
+        ) as run_span:
+            if self.parallel:
+                # tracemalloc state is process-global; per-step memory
+                # tracking is meaningless (and racy) across threads.
+                previous = self.track_memory
+                self.track_memory = False
+                try:
+                    self._run_parallel(
+                        pipeline, env, keys, wanted, last_use, report, run_span
+                    )
+                finally:
+                    self.track_memory = previous
+            else:
+                for index, call in enumerate(pipeline.calls):
+                    self._run_step(index, call, env, keys, report)
+                    self._collect_garbage(index, env, last_use, wanted)
+            run_span.set("cached_steps",
+                         sum(1 for p in report.profiles if p.cached))
+        METRICS.counter(
+            metric_names.RUNS_COMPLETED, "pipeline executions completed"
+        ).inc()
 
         self.last_report = report
         missing = [name for name in wanted if name not in env]
@@ -209,58 +269,67 @@ class ExecutionEngine:
         raw = f"{call.name}({_params_token(call.params)})<-[{inputs}]"
         return hashlib.sha1(raw.encode()).hexdigest()
 
-    def _run_step(self, index, call, env, keys, report) -> None:
+    def _run_step(self, index, call, env, keys, report, parent=None) -> None:
         key = self._step_key(call, keys)
         keys[call.output] = key
         cacheable = (
             self.use_cache and call.operation.output_type in _CACHEABLE
         )
-        if cacheable:
-            hit, value = self.shared_cache.get(key)
-            if hit:
-                env[call.output] = value
-                report.profiles.append(
-                    OperationProfile(
-                        step=index,
-                        operation=call.name,
-                        output_name=call.output,
-                        wall_seconds=0.0,
-                        peak_memory_bytes=0,
-                        cached=True,
-                    )
-                )
-                return
-        inputs = [env[name] for name in call.inputs]
-        for value, expected in zip(inputs, call.operation.input_types):
-            check_type(value, expected, f"operation {call.name!r}")
-        if self.track_memory:
-            tracemalloc.start()
-        started = time.perf_counter()
-        try:
-            result = call.operation.fn(inputs, call.params)
-        except Exception as exc:
+        tracer = get_tracer()
+        with tracer.span(
+            f"step:{call.name}",
+            parent=parent,
+            step=index,
+            operation=call.name,
+            output=call.output,
+            cache_key=key,
+            thread=threading.current_thread().name,
+        ) as span:
+            if cacheable:
+                hit, value = self.shared_cache.get(key)
+                if hit:
+                    env[call.output] = value
+                    span.set("cached", True)
+                    span.set("wall_seconds", 0.0)
+                    span.set("peak_memory_bytes", 0)
+                    METRICS.counter(
+                        metric_names.STEPS_CACHED,
+                        "steps served from the shared result cache",
+                    ).inc()
+                    report.add_span(span)
+                    return
+            inputs = [env[name] for name in call.inputs]
+            for value, expected in zip(inputs, call.operation.input_types):
+                check_type(value, expected, f"operation {call.name!r}")
             if self.track_memory:
+                tracemalloc.start()
+            started = time.perf_counter()
+            try:
+                result = call.operation.fn(inputs, call.params)
+            except Exception as exc:
+                if self.track_memory:
+                    tracemalloc.stop()
+                if isinstance(exc, PipelineError):
+                    raise
+                raise PipelineError(call.name, index, exc) from exc
+            elapsed = time.perf_counter() - started
+            peak = 0
+            if self.track_memory:
+                _, peak = tracemalloc.get_traced_memory()
                 tracemalloc.stop()
-            if isinstance(exc, PipelineError):
-                raise
-            raise PipelineError(call.name, index, exc) from exc
-        elapsed = time.perf_counter() - started
-        peak = 0
-        if self.track_memory:
-            _, peak = tracemalloc.get_traced_memory()
-            tracemalloc.stop()
-        env[call.output] = result
-        if cacheable:
-            self.shared_cache.put(key, result)
-        report.profiles.append(
-            OperationProfile(
-                step=index,
-                operation=call.name,
-                output_name=call.output,
-                wall_seconds=elapsed,
-                peak_memory_bytes=int(peak),
-            )
-        )
+            env[call.output] = result
+            if cacheable:
+                self.shared_cache.put(key, result)
+            span.set("cached", False)
+            span.set("wall_seconds", elapsed)
+            span.set("peak_memory_bytes", int(peak))
+            METRICS.counter(
+                metric_names.STEPS_EXECUTED, "operation steps executed"
+            ).inc()
+            METRICS.histogram(
+                metric_names.STEP_SECONDS, "wall seconds per executed step"
+            ).observe(elapsed)
+            report.add_span(span)
 
     @staticmethod
     def _collect_garbage(index, env, last_use, wanted) -> None:
@@ -271,10 +340,14 @@ class ExecutionEngine:
 
     # ------------------------------------------------------------------
 
-    def _run_parallel(self, pipeline, env, keys, wanted, last_use, report) -> None:
+    def _run_parallel(
+        self, pipeline, env, keys, wanted, last_use, report, run_span=None
+    ) -> None:
         """Execute in dataflow waves: each wave runs every step whose
         inputs are already available, concurrently."""
+        tracer = get_tracer()
         pending = list(enumerate(pipeline.calls))
+        wave_index = 0
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             while pending:
                 ready = [
@@ -288,14 +361,24 @@ class ExecutionEngine:
                         names[0], pending[0][0],
                         RuntimeError("dataflow deadlock (cyclic inputs?)"),
                     )
-                futures = [
-                    pool.submit(self._run_step, index, call, env, keys, report)
-                    for index, call in ready
-                ]
-                for future in futures:
-                    future.result()
+                with tracer.span(
+                    "wave", parent=run_span,
+                    wave=wave_index, size=len(ready),
+                    workers=min(self.max_workers, len(ready)),
+                ) as wave_span:
+                    futures = [
+                        pool.submit(self._run_step, index, call, env, keys,
+                                    report, wave_span)
+                        for index, call in ready
+                    ]
+                    for future in futures:
+                        future.result()
+                # pool threads append profiles in completion order;
+                # keep the report deterministic across runs
+                report.profiles.sort(key=lambda p: p.step)
                 done = {index for index, _ in ready}
                 pending = [item for item in pending if item[0] not in done]
+                wave_index += 1
         # wave mode frees memory between waves rather than per step
         max_index = len(pipeline.calls) - 1
         self._collect_garbage(max_index, env, last_use, wanted)

@@ -1,0 +1,214 @@
+"""A process-global metrics registry: counters, gauges, histograms.
+
+The observability counterpart of the tracer (:mod:`repro.obs.spans`):
+where spans answer "where did *this run* spend its time", metrics
+answer "what has the *process* done so far" -- cache hit-rates across a
+whole evaluation matrix, packets generated while building datasets,
+steps actually executed versus served from cache.
+
+Everything here is stdlib-only and thread-safe: the engine increments
+counters from pool threads in parallel mode.  Metrics are monotonic
+(counters) or last-write (gauges); ``snapshot()`` returns a plain dict
+and ``render_prometheus()`` a Prometheus-style text exposition, both
+cheap enough to call at any time.
+"""
+
+from __future__ import annotations
+
+import threading
+
+# ---------------------------------------------------------------------------
+# Well-known metric names (instrumentation sites and docs agree on these)
+# ---------------------------------------------------------------------------
+
+CACHE_HITS = "engine_cache_hits_total"
+CACHE_MISSES = "engine_cache_misses_total"
+CACHE_DISK_HITS = "engine_cache_disk_hits_total"
+CACHE_EVICTIONS = "engine_cache_evictions_total"
+STEPS_EXECUTED = "engine_steps_executed_total"
+STEPS_CACHED = "engine_steps_cached_total"
+BYTES_FINGERPRINTED = "engine_bytes_fingerprinted_total"
+RUNS_COMPLETED = "engine_runs_total"
+STEP_SECONDS = "engine_step_seconds"
+CACHE_ENTRIES = "engine_cache_entries"
+PACKETS_GENERATED = "traffic_packets_generated_total"
+ATTACK_PACKETS = "traffic_attack_packets_total"
+TRACES_BUILT = "traffic_traces_built_total"
+EVALUATIONS_COMPLETED = "bench_evaluations_completed_total"
+EVALUATION_SECONDS = "bench_evaluation_seconds"
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self):
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (e.g. live cache entries)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self):
+        return self._value
+
+
+class Histogram:
+    """Aggregate distribution of observations (count/sum/min/max)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and shared process-wide.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: calling them
+    twice with the same name returns the same object, so
+    instrumentation sites never need to coordinate registration.
+    Asking for an existing name as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name: str, help: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            if help and not metric.help:
+                metric.help = help
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All metric values as one plain (JSON-friendly) dict."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: m.snapshot() for name, m in sorted(metrics.items())}
+
+    def render_prometheus(self) -> str:
+        """A Prometheus-style text exposition of every metric."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        lines: list[str] = []
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                lines.append(f"{name}_count {metric.count}")
+                lines.append(f"{name}_sum {_fmt(metric.total)}")
+                if metric.count:
+                    lines.append(f"{name}_min {_fmt(metric.minimum)}")
+                    lines.append(f"{name}_max {_fmt(metric.maximum)}")
+            else:
+                lines.append(f"{name} {_fmt(metric.value)}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every metric (tests and long-lived notebook sessions)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+def _fmt(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:.6g}"
+
+
+#: the process-global registry every instrumentation site uses
+METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global :class:`MetricsRegistry`."""
+    return METRICS

@@ -1,0 +1,133 @@
+"""Human rendering of traces: byte units and the span-tree view.
+
+``format_bytes`` is the one shared spelling of memory sizes (the
+engine's :class:`~repro.core.profiling.ProfileReport` table and the
+tree view both use it).  :class:`TreeRenderer` reconstructs the span
+tree from a flat event list -- the ring buffer's contents or a parsed
+JSONL trace file -- and renders it as an indented ASCII tree with
+durations, memory, cache disposition and the interesting attributes.
+"""
+
+from __future__ import annotations
+
+_UNITS = ("B", "KiB", "MiB", "GiB", "TiB")
+
+#: attributes rendered specially (or not at all) rather than as k=v
+_HANDLED_ATTRS = {"peak_memory_bytes", "wall_seconds", "cached", "thread"}
+
+
+def format_bytes(count: float) -> str:
+    """``1536 -> '1.5 KiB'``; whole bytes stay integral."""
+    size = float(count)
+    for unit in _UNITS:
+        if abs(size) < 1024.0 or unit == _UNITS[-1]:
+            if unit == "B":
+                return f"{int(size)} {unit}"
+            return f"{size:.1f} {unit}"
+        size /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def build_tree(events: list[dict]) -> tuple[list[dict], dict[int, list[dict]]]:
+    """Group span events into (roots, children-by-parent-id).
+
+    Events whose parent never appears in the list (e.g. a ring buffer
+    that dropped the oldest spans) are treated as roots, so partial
+    traces still render.  Siblings are ordered by span id, i.e. by
+    creation order, which is deterministic where wall clocks are not.
+    """
+    spans = [e for e in events if e.get("kind") == "span"]
+    by_id = {e["span_id"]: e for e in spans}
+    roots: list[dict] = []
+    children: dict[int, list[dict]] = {}
+    for event in spans:
+        parent = event.get("parent_id")
+        if parent is None or parent not in by_id:
+            roots.append(event)
+        else:
+            children.setdefault(parent, []).append(event)
+    key = lambda e: e["span_id"]  # noqa: E731
+    roots.sort(key=key)
+    for siblings in children.values():
+        siblings.sort(key=key)
+    return roots, children
+
+
+class TreeRenderer:
+    """Renders a flat event list as an ASCII span tree."""
+
+    def __init__(self, *, show_events: bool = False,
+                 max_attr_chars: int = 48) -> None:
+        self.show_events = show_events
+        self.max_attr_chars = max_attr_chars
+
+    # ------------------------------------------------------------------
+
+    def _attr_text(self, attrs: dict) -> str:
+        parts: list[str] = []
+        if attrs.get("cached"):
+            parts.append("[cached]")
+        memory = attrs.get("peak_memory_bytes")
+        if memory:
+            parts.append(f"mem={format_bytes(memory)}")
+        for name in sorted(attrs):
+            if name in _HANDLED_ATTRS:
+                continue
+            text = str(attrs[name])
+            if len(text) > self.max_attr_chars:
+                text = text[: self.max_attr_chars - 1] + "…"
+            parts.append(f"{name}={text}")
+        return " ".join(parts)
+
+    def _line(self, event: dict) -> str:
+        duration = format_duration(event.get("duration_seconds", 0.0))
+        text = f"{event['name']}  {duration}"
+        if event.get("status") == "error":
+            text += "  !error"
+        attrs = self._attr_text(event.get("attrs", {}))
+        if attrs:
+            text += f"  {attrs}"
+        return text
+
+    def _walk(self, event: dict, children: dict[int, list[dict]],
+              point_events: dict[int, list[dict]],
+              prefix: str, lines: list[str]) -> None:
+        kids: list[dict] = list(children.get(event["span_id"], []))
+        if self.show_events:
+            kids += point_events.get(event["span_id"], [])
+            kids.sort(key=lambda e: e.get("ts", 0.0))
+        for index, child in enumerate(kids):
+            last = index == len(kids) - 1
+            branch = "└─ " if last else "├─ "
+            extend = "   " if last else "│  "
+            if child.get("kind") == "event":
+                attrs = self._attr_text(child.get("attrs", {}))
+                lines.append(f"{prefix}{branch}· {child['name']}"
+                             f"{'  ' + attrs if attrs else ''}")
+            else:
+                lines.append(prefix + branch + self._line(child))
+                self._walk(child, children, point_events,
+                           prefix + extend, lines)
+
+    def render(self, events: list[dict]) -> str:
+        roots, children = build_tree(events)
+        point_events: dict[int, list[dict]] = {}
+        if self.show_events:
+            for event in events:
+                if event.get("kind") == "event" and event.get("span_id"):
+                    point_events.setdefault(event["span_id"], []).append(event)
+        if not roots:
+            return "(no spans)"
+        lines: list[str] = []
+        for root in roots:
+            lines.append(self._line(root))
+            self._walk(root, children, point_events, "", lines)
+        return "\n".join(lines)

@@ -14,6 +14,8 @@ import numpy as np
 from repro.net.headers import TCPFlags, IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP
 from repro.net.packet import LinkType
 from repro.net.table import PACKET_COLUMNS, PacketTable
+from repro.obs import METRICS, get_tracer
+from repro.obs import metrics as metric_names
 
 ETHERNET_OVERHEAD = 14
 IPV4_OVERHEAD = 20
@@ -283,4 +285,22 @@ class TraceBuilder:
             )
         }
         table = PacketTable(columns=columns, attacks=list(self._attacks))
+        attack_packets = int((columns["label"] == 1).sum())
+        METRICS.counter(
+            metric_names.PACKETS_GENERATED,
+            "packets emitted by the traffic generators",
+        ).inc(len(table))
+        METRICS.counter(
+            metric_names.ATTACK_PACKETS,
+            "attack-labelled packets emitted by the traffic generators",
+        ).inc(attack_packets)
+        METRICS.counter(
+            metric_names.TRACES_BUILT, "traces finalised by TraceBuilder"
+        ).inc()
+        get_tracer().event(
+            "traffic.build",
+            packets=len(table),
+            attack_packets=attack_packets,
+            attacks=",".join(self._attacks),
+        )
         return table.sort_by_time() if sort else table

@@ -228,6 +228,186 @@ class TestParallelExecution:
         assert np.array_equal(serial["X"], parallel["X"])
 
 
+PARALLEL_TEMPLATE = [
+    {"func": "Groupby", "input": None, "output": "flows",
+     "flowid": ["connection"]},
+    # these three are independent given 'flows'
+    {"func": "ApplyAggregates", "input": ["flows"], "output": "A",
+     "list": ["count", "duration"]},
+    {"func": "FirstNPackets", "input": ["flows"], "output": "B", "n": 3},
+    {"func": "ZeekConnLog", "input": ["flows"], "output": "C"},
+    {"func": "ConcatFeatures", "input": ["A", "B"], "output": "AB"},
+    {"func": "ConcatFeatures", "input": ["AB", "C"], "output": "X"},
+]
+
+
+class TestObservability:
+    def _capture(self, fn):
+        """Run ``fn`` with an unbounded sink on the global tracer."""
+        from repro.obs import RingBufferSink, get_tracer
+
+        sink = RingBufferSink(capacity=None)
+        tracer = get_tracer()
+        tracer.add_sink(sink)
+        try:
+            fn()
+        finally:
+            tracer.remove_sink(sink)
+        return sink.events()
+
+    def test_parallel_profiles_ordered_by_step(self, small_trace):
+        engine = ExecutionEngine(
+            use_cache=False, parallel=True, max_workers=4,
+            track_memory=False,
+        )
+        engine.run(Pipeline.from_template(PARALLEL_TEMPLATE), small_trace,
+                   outputs=["X"])
+        steps = [p.step for p in engine.last_report.profiles]
+        assert steps == sorted(steps)
+        assert len(steps) == len(PARALLEL_TEMPLATE)
+
+    def test_serial_and_parallel_span_trees_equivalent(self, small_trace):
+        """Same steps, same cache keys, regardless of execution mode."""
+
+        def steps_of(parallel):
+            events = self._capture(lambda: ExecutionEngine(
+                use_cache=False, parallel=parallel, track_memory=False
+            ).run(Pipeline.from_template(PARALLEL_TEMPLATE), small_trace,
+                  outputs=["X"], source_token="t"))
+            return {
+                (e["attrs"]["operation"], e["attrs"]["output"],
+                 e["attrs"]["cache_key"])
+                for e in events
+                if e["kind"] == "span" and e["name"].startswith("step:")
+            }
+
+        serial, parallel = steps_of(False), steps_of(True)
+        assert serial == parallel
+        assert len(serial) == len(PARALLEL_TEMPLATE)
+
+    def test_parallel_steps_attributed_to_waves(self, small_trace):
+        events = self._capture(lambda: ExecutionEngine(
+            use_cache=False, parallel=True, max_workers=4,
+            track_memory=False,
+        ).run(Pipeline.from_template(PARALLEL_TEMPLATE), small_trace,
+              outputs=["X"]))
+        spans = {e["span_id"]: e for e in events if e["kind"] == "span"}
+        waves = [e for e in spans.values() if e["name"] == "wave"]
+        steps = [e for e in spans.values() if e["name"].startswith("step:")]
+        assert len(waves) >= 3  # Groupby / fan-out / joins
+        run_ids = {e["span_id"] for e in spans.values() if e["name"] == "run"}
+        for wave in waves:
+            assert wave["parent_id"] in run_ids
+        for step in steps:
+            parent = spans[step["parent_id"]]
+            assert parent["name"] == "wave"
+            assert "thread" in step["attrs"]
+
+    def test_step_times_bounded_by_run_duration(self, small_trace):
+        events = self._capture(lambda: ExecutionEngine(
+            use_cache=False, track_memory=False
+        ).run(Pipeline.from_template(TEMPLATE), small_trace))
+        run = next(e for e in events if e["name"] == "run")
+        step_total = sum(
+            e["attrs"]["wall_seconds"] for e in events
+            if e["kind"] == "span" and e["name"].startswith("step:")
+        )
+        assert 0 < step_total <= run["duration_seconds"]
+
+    def test_metrics_after_cached_rerun(self, small_trace):
+        from repro.obs import METRICS
+        from repro.obs import metrics as metric_names
+
+        engine = ExecutionEngine(track_memory=False)
+        pipeline = Pipeline.from_template(TEMPLATE)
+        engine.run(pipeline, small_trace, outputs=["X", "y"],
+                   source_token="t")
+
+        def counts():
+            snap = METRICS.snapshot()
+            return (snap.get(metric_names.CACHE_HITS, 0),
+                    snap.get(metric_names.STEPS_EXECUTED, 0))
+
+        hits_before, executed_before = counts()
+        engine.run(pipeline, small_trace, outputs=["X", "y"],
+                   source_token="t")
+        hits_after, executed_after = counts()
+        # second run: every cacheable step is a hit, nothing re-executes
+        assert hits_after - hits_before >= len(TEMPLATE)
+        assert executed_after == executed_before
+        assert all(p.cached for p in engine.last_report.profiles)
+
+    def test_cache_events_emitted(self, small_trace):
+        events = self._capture(lambda: ExecutionEngine(
+            track_memory=False
+        ).run(Pipeline.from_template(TEMPLATE), small_trace,
+              source_token="fresh-events"))
+        names = {e["name"] for e in events if e["kind"] == "event"}
+        assert "cache.miss" in names
+
+    def test_profile_is_a_view_over_spans(self, small_trace):
+        from repro.core.profiling import OperationProfile
+
+        events = []
+        engine = ExecutionEngine(use_cache=False, track_memory=False)
+
+        def run():
+            events.extend(self._capture(lambda: engine.run(
+                Pipeline.from_template(TEMPLATE), small_trace)))
+
+        run()
+        step_spans = [e for e in events if e["name"].startswith("step:")]
+        assert len(step_spans) == len(engine.last_report.profiles)
+        for span_event, profile in zip(step_spans,
+                                       engine.last_report.profiles):
+            assert span_event["attrs"]["operation"] == profile.operation
+            assert span_event["attrs"]["wall_seconds"] == profile.wall_seconds
+        assert isinstance(engine.last_report.profiles[0], OperationProfile)
+
+    def test_hotspots_tie_break_is_deterministic(self):
+        from repro.core.profiling import OperationProfile, ProfileReport
+
+        report = ProfileReport(profiles=[
+            OperationProfile(step=2, operation="b", output_name="b",
+                             wall_seconds=0.0, peak_memory_bytes=0),
+            OperationProfile(step=0, operation="a", output_name="a",
+                             wall_seconds=0.0, peak_memory_bytes=0),
+            OperationProfile(step=1, operation="c", output_name="c",
+                             wall_seconds=1.0, peak_memory_bytes=0),
+        ])
+        assert [p.step for p in report.hotspots(top=3)] == [1, 0, 2]
+
+    def test_render_uses_human_units(self):
+        from repro.core.profiling import OperationProfile, ProfileReport
+
+        report = ProfileReport(profiles=[
+            OperationProfile(step=0, operation="op", output_name="x",
+                             wall_seconds=0.1,
+                             peak_memory_bytes=3 * 1024 * 1024),
+        ])
+        rendered = report.render()
+        assert "3.0 MiB" in rendered
+        assert "peak 3.0 MiB" in rendered
+
+    def test_thread_safe_cache_under_parallel_load(self, small_trace):
+        """Hammer one cache from many engines; counters stay consistent."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = ExecutionEngine.shared_cache
+        pipeline = Pipeline.from_template(TEMPLATE)
+
+        def run(_):
+            ExecutionEngine(parallel=True, max_workers=4,
+                            track_memory=False).run(
+                pipeline, small_trace, outputs=["X", "y"], source_token="t")
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(run, range(8)))
+        lookups = cache.hits + cache.misses
+        # every run looks up each of the 3 cacheable outputs exactly once
+        assert lookups == 8 * len(TEMPLATE)
+
+
 class TestDiskCache:
     def test_arrays_survive_a_fresh_cache(self, small_trace, tmp_path):
         from repro.core.engine import _ResultCache

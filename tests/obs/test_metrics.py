@@ -1,0 +1,117 @@
+"""Tests for the metrics registry: kinds, snapshots, rendering, threads."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_metrics
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestKinds:
+    def test_counter_accumulates(self, registry):
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_gauge_sets_and_moves(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.dec(4)
+        assert gauge.value == 6
+
+    def test_histogram_aggregates(self, registry):
+        histogram = registry.histogram("h")
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 3.0
+        assert histogram.mean == 2.0
+
+    def test_get_or_create_returns_same_object(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_clash_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_late_help_is_kept(self, registry):
+        registry.counter("c")
+        registry.counter("c", "what it counts")
+        assert "what it counts" in registry.render_prometheus()
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self, registry):
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["c"] == 2
+        assert snap["g"] == 7
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["mean"] == 0.5
+
+    def test_snapshot_sorted_and_plain(self, registry):
+        registry.counter("b")
+        registry.counter("a")
+        assert list(registry.snapshot()) == ["a", "b"]
+
+    def test_reset_drops_everything(self, registry):
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self, registry):
+        registry.counter("hits_total", "cache hits").inc(3)
+        registry.gauge("live").set(1.5)
+        text = registry.render_prometheus()
+        assert "# HELP hits_total cache hits" in text
+        assert "# TYPE hits_total counter" in text
+        assert "hits_total 3" in text
+        assert "live 1.5" in text
+
+    def test_histogram_lines(self, registry):
+        histogram = registry.histogram("lat")
+        histogram.observe(0.25)
+        histogram.observe(0.75)
+        text = registry.render_prometheus()
+        assert "# TYPE lat histogram" in text
+        assert "lat_count 2" in text
+        assert "lat_sum 1" in text
+        assert "lat_min 0.25" in text
+        assert "lat_max 0.75" in text
+
+
+class TestConcurrency:
+    def test_parallel_increments_are_not_lost(self, registry):
+        counter = registry.counter("n")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+def test_global_registry_is_a_singleton():
+    assert get_metrics() is get_metrics()

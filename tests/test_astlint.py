@@ -118,6 +118,40 @@ class TestRegisterOperation:
         assert [v.code for v in found] == ["AL003"]
 
 
+class TestWallClock:
+    def src_violations_for(self, tmp_path, source):
+        src_dir = tmp_path / "src"
+        src_dir.mkdir()
+        path = src_dir / "module.py"
+        path.write_text(source)
+        return astlint.lint_file(path)
+
+    def test_time_time_flagged_in_src(self, tmp_path):
+        found = self.src_violations_for(
+            tmp_path, "import time\nstarted = time.time()\n"
+        )
+        assert [v.code for v in found] == ["AL004"]
+
+    def test_perf_counter_ok(self, tmp_path):
+        found = self.src_violations_for(
+            tmp_path, "import time\nstarted = time.perf_counter()\n"
+        )
+        assert found == []
+
+    def test_time_time_allowed_outside_src(self, tmp_path):
+        found = violations_for(
+            tmp_path, "import time\nstarted = time.time()\n"
+        )
+        assert found == []
+
+    def test_pragma_disables_line(self, tmp_path):
+        found = self.src_violations_for(
+            tmp_path,
+            "import time\nstarted = time.time()  # astlint: disable\n",
+        )
+        assert found == []
+
+
 class TestGate:
     def test_fixtures_directories_skipped(self, tmp_path):
         fixture_dir = tmp_path / "fixtures"

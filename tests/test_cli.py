@@ -142,6 +142,77 @@ class TestTemplateCommands:
         assert "total:" in out
 
 
+class TestObservabilityCommands:
+    def test_evaluate_trace_exports_parseable_jsonl(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        trace = tmp_path / "out.jsonl"
+        assert main(["evaluate", "A14", "F0", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        events = read_trace(trace)
+        spans = [e for e in events if e["kind"] == "span"]
+        names = {e["name"] for e in spans}
+        assert {"evaluate", "featurize", "train", "test", "run"} <= names
+        # per-step wall times sum to within each run span's duration
+        for run in (e for e in spans if e["name"] == "run"):
+            step_total = sum(
+                e["attrs"].get("wall_seconds", 0.0) for e in spans
+                if e["name"].startswith("step:")
+                and e["parent_id"] == run["span_id"]
+            )
+            assert step_total <= run["duration_seconds"]
+
+    def test_trace_flag_detached_after_run(self, tmp_path, capsys):
+        trace = tmp_path / "out.jsonl"
+        assert main(["evaluate", "A14", "F0", "--trace", str(trace)]) == 0
+        size = trace.stat().st_size
+        capsys.readouterr()
+        assert main(["evaluate", "A14", "F0"]) == 0
+        assert trace.stat().st_size == size  # sink no longer attached
+
+    def test_trace_renders_saved_file(self, tmp_path, capsys):
+        trace = tmp_path / "out.jsonl"
+        main(["evaluate", "A14", "F0", "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "evaluate" in out
+        assert "└─" in out
+
+    def test_trace_runs_a_command(self, capsys):
+        assert main(["trace", "evaluate", "A14", "F0"]) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out  # the wrapped command's own output
+        assert "step:Groupby" in out
+
+    def test_trace_without_arguments_errors(self, capsys):
+        assert main(["trace"]) == 2
+
+    def test_trace_rejects_malformed_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("nope\n")
+        assert main(["trace", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_metrics_reports_cache_hits_after_matrix(self, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        assert main(["metrics", "matrix", "--algorithms", "A13,A14",
+                     "--datasets", "F0,F1", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE engine_cache_hits_total counter" in text
+        hits = next(
+            int(line.split()[1]) for line in text.splitlines()
+            if line.startswith("engine_cache_hits_total ")
+        )
+        assert hits > 0
+        assert "bench_evaluations_completed_total" in text
+
+    def test_metrics_alone_exits_zero(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" in out or "(no metrics recorded)" in out
+
+
 class TestReportAndExport:
     def test_report_from_results(self, tmp_path, capsys):
         results = tmp_path / "results.json"

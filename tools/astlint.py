@@ -14,6 +14,10 @@ Rules:
   ``output_type`` contradicts the decorated function's return
   annotation, or whose function does not take the operation calling
   convention's two arguments ``(inputs, params)``.
+* **AL004** -- raw ``time.time()`` in library code (any file under a
+  ``src`` directory): wall-clock time is not monotonic and duplicates
+  the observability layer.  Use ``time.perf_counter()`` for durations
+  or an obs span (:mod:`repro.obs`) for anything worth reporting.
 
 Paths whose components include ``fixtures`` are skipped, as is any
 line carrying an ``# astlint: disable`` comment.
@@ -211,6 +215,21 @@ def _check_register_operation(
                 ))
 
 
+def _check_wall_clock(tree: ast.AST, path: Path, out: list[Violation]) -> None:
+    if "src" not in path.parts:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _dotted(node.func) == "time.time":
+            out.append(Violation(
+                path, node.lineno, "AL004",
+                "raw time.time() in library code -- use "
+                "time.perf_counter() for durations or an obs span "
+                "(repro.obs) for reported timings",
+            ))
+
+
 def lint_file(path: Path) -> list[Violation]:
     source = path.read_text()
     try:
@@ -222,6 +241,7 @@ def lint_file(path: Path) -> list[Violation]:
     _check_randomness(tree, path, violations)
     _check_mutable_defaults(tree, path, violations)
     _check_register_operation(tree, path, violations)
+    _check_wall_clock(tree, path, violations)
     disabled = {
         number
         for number, text in enumerate(source.splitlines(), start=1)

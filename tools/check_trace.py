@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate a JSONL trace file against the repro.obs event schema.
+
+Stdlib-only (CI runs it without installing the package).  Checks that
+every line is a JSON object of kind ``span`` or ``event`` with the
+fields the sinks write (see ``docs/OBSERVABILITY.md``), that ids are
+consistent (a span's parent, when present in the file, shares its
+trace id), and that the file contains at least one span.
+
+Usage:  python tools/check_trace.py TRACE.jsonl [MORE...]
+Exit status 1 when any file is empty, malformed, or schema-invalid.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+_NUMBER = (int, float)
+
+_SPAN_FIELDS = {
+    "name": str,
+    "span_id": int,
+    "trace_id": int,
+    "ts": _NUMBER,
+    "duration_seconds": _NUMBER,
+    "status": str,
+    "attrs": dict,
+}
+
+_EVENT_FIELDS = {
+    "name": str,
+    "ts": _NUMBER,
+    "attrs": dict,
+}
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    spans: dict[int, dict] = {}
+    lines = 0
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [f"{path}: unreadable: {exc}"]
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        lines += 1
+        where = f"{path}:{number}"
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{where}: not valid JSON: {exc.msg}")
+            continue
+        if not isinstance(event, dict):
+            problems.append(f"{where}: event is not an object")
+            continue
+        kind = event.get("kind")
+        if kind == "span":
+            required = _SPAN_FIELDS
+        elif kind == "event":
+            required = _EVENT_FIELDS
+        else:
+            problems.append(f"{where}: unknown kind {kind!r}")
+            continue
+        for name, types in required.items():
+            if name not in event:
+                problems.append(f"{where}: {kind} missing field {name!r}")
+            elif not isinstance(event[name], types):
+                problems.append(
+                    f"{where}: field {name!r} has type "
+                    f"{type(event[name]).__name__}"
+                )
+        if kind != "span" or any(f not in event for f in _SPAN_FIELDS):
+            continue
+        if event["duration_seconds"] < 0:
+            problems.append(f"{where}: negative duration")
+        parent = event.get("parent_id")
+        if parent is not None and not isinstance(parent, int):
+            problems.append(f"{where}: parent_id is not an int or null")
+        elif parent in spans and spans[parent]["trace_id"] != event["trace_id"]:
+            problems.append(
+                f"{where}: span {event['span_id']} disagrees with its "
+                f"parent about the trace id"
+            )
+        spans[event["span_id"]] = event
+    if lines == 0:
+        problems.append(f"{path}: trace is empty")
+    elif not spans:
+        problems.append(f"{path}: no span events")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = argv if argv is not None else sys.argv[1:]
+    if not paths:
+        print("usage: check_trace.py TRACE.jsonl [MORE...]", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    total_spans = 0
+    for raw in paths:
+        path = Path(raw)
+        found = check_file(path)
+        problems.extend(found)
+        if not found:
+            events = [json.loads(line)
+                      for line in path.read_text().splitlines()
+                      if line.strip()]
+            total_spans += sum(e.get("kind") == "span" for e in events)
+    for problem in problems:
+        print(problem)
+    print(f"{len(paths)} file(s): {total_spans} span(s), "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
