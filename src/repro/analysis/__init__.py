@@ -8,6 +8,9 @@ over it -- *without executing anything*:
 * type propagation along the graph (PACKETS/FLOWS/FEATURES/...),
 * graph lints (undefined inputs, dead operations, duplicate outputs,
   train-before-model ordering, missing terminal steps),
+* implementation-level effect analysis of the operations the template
+  uses (purity, in-place mutation, hidden state, unseeded RNG -- see
+  :mod:`repro.analysis.effects` / :mod:`repro.analysis.safety`),
 * the paper's faithfulness rule, when a dataset id is supplied.
 
 Every finding is a :class:`~repro.analysis.diagnostics.Diagnostic`
@@ -35,6 +38,12 @@ from repro.analysis.graph import (
     graph_from_pipeline,
 )
 from repro.analysis.passes import pass_dataflow, pass_ordering, pass_parameters
+from repro.analysis.safety import (
+    EffectReport,
+    audit_registry,
+    operation_report,
+    pass_effects,
+)
 from repro.analysis.sources import LintTarget, collect_targets
 from repro.core.pipeline import Pipeline
 
@@ -42,15 +51,19 @@ __all__ = [
     "CODES",
     "AnalysisResult",
     "Diagnostic",
+    "EffectReport",
     "LintTarget",
     "Severity",
     "StepNode",
     "TemplateGraph",
     "analyze_pipeline",
     "analyze_template",
+    "audit_registry",
     "build_graph",
     "collect_targets",
     "graph_from_pipeline",
+    "operation_report",
+    "pass_effects",
 ]
 
 
@@ -64,6 +77,7 @@ def _run_passes(
     pass_parameters(graph, diagnostics)
     pass_dataflow(graph, diagnostics, outputs)
     pass_ordering(graph, diagnostics)
+    pass_effects(graph, diagnostics)
     if dataset_id is not None:
         pass_faithfulness(graph, diagnostics, dataset_id)
     return AnalysisResult(diagnostics)

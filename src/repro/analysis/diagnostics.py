@@ -44,6 +44,14 @@ CODES: dict[str, str] = {
     "L018": "invalid parameter value",
     "L019": "requested output never produced",
     "L020": "unknown dataset id",
+    "L021": "operation mutates an input or params binding in place",
+    "L022": "operation writes module-global or closure state",
+    "L023": "operation reads mutable module-global state",
+    "L024": "operation draws from an unseeded RNG",
+    "L025": "operation RNG seed is not threaded through params",
+    "L026": "operation performs file or process I/O",
+    "L027": "operation source unavailable for effect analysis",
+    "L028": "step uses an operation the engine cannot cache or parallelize",
 }
 
 

@@ -1,0 +1,893 @@
+"""AST-level effect analysis of operation implementations.
+
+This module answers one question about a Python function: *what does it
+do besides compute its return value?*  It classifies each analyzed
+callable into one of four purity classes:
+
+``pure``
+    No observable effects.  Safe to memoize and run concurrently.
+``seeded-stochastic``
+    Draws randomness, but only from generators whose seed is explicit
+    (ideally threaded through the ``params`` dict).  Safe to memoize as
+    long as the seed is part of the cache key, and safe to parallelize.
+``io``
+    Touches the filesystem, network, or another process.  Deterministic
+    or not, the result depends on the outside world, so the engine
+    neither caches nor parallelizes it.
+``stateful``
+    Mutates an argument in place, reads or writes mutable module-global
+    or closure state, or draws from an unseeded RNG.  Caching would
+    return stale/corrupted values and concurrent execution races, so
+    the engine refuses both.
+
+The analysis is deliberately *flow-insensitive but alias-aware*: a
+single forward pass tracks which local names alias the function's
+``inputs`` / ``params`` arguments (through attribute access,
+subscripting, tuple unpacking, and transparent iterators such as
+``enumerate``/``zip``), and flags writes through those aliases.  Results
+of arbitrary calls (``.copy()``, ``np.diff(...)``, constructors) are
+treated as *fresh* values -- this is the soundness boundary that keeps
+the common "copy, then mutate the copy" idiom pure, at the cost of
+missing mutations performed by callees.  Callees are assumed pure;
+``repro audit`` documents this assumption.
+
+The module is intentionally **stdlib-only and repo-import-free** so
+that ``tools/astlint.py`` can load it by file path without importing
+the ``repro`` package (or numpy).  The registry-facing layer lives in
+:mod:`repro.analysis.safety`.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "EffectKind",
+    "EffectFinding",
+    "FunctionEffects",
+    "ModuleContext",
+    "collect_module_context",
+    "analyze_function",
+    "PURE",
+    "SEEDED",
+    "STATEFUL",
+    "IO",
+]
+
+# Purity class names (strings so they serialize directly into JSON,
+# span attributes, and CLI tables).
+PURE = "pure"
+SEEDED = "seeded-stochastic"
+STATEFUL = "stateful"
+IO = "io"
+
+
+class EffectKind(enum.Enum):
+    """One observable effect detected in a function body."""
+
+    MUTATES_INPUT = "mutates-input"
+    MUTATES_PARAMS = "mutates-params"
+    WRITES_GLOBAL = "writes-global"
+    READS_MUTABLE_GLOBAL = "reads-mutable-global"
+    MUTABLE_CLOSURE = "mutable-closure"
+    UNSEEDED_RNG = "unseeded-rng"
+    CONST_SEEDED_RNG = "const-seeded-rng"
+    PARAM_SEEDED_RNG = "param-seeded-rng"
+    PERFORMS_IO = "performs-io"
+    SOURCE_UNAVAILABLE = "source-unavailable"
+
+
+#: effect kinds that force the ``stateful`` classification
+STATEFUL_KINDS = frozenset(
+    {
+        EffectKind.MUTATES_INPUT,
+        EffectKind.MUTATES_PARAMS,
+        EffectKind.WRITES_GLOBAL,
+        EffectKind.READS_MUTABLE_GLOBAL,
+        EffectKind.MUTABLE_CLOSURE,
+        EffectKind.UNSEEDED_RNG,
+        EffectKind.SOURCE_UNAVAILABLE,
+    }
+)
+
+#: effect kinds that mark randomness with an explicit seed
+SEEDED_KINDS = frozenset(
+    {EffectKind.CONST_SEEDED_RNG, EffectKind.PARAM_SEEDED_RNG}
+)
+
+
+@dataclass(frozen=True)
+class EffectFinding:
+    """A single effect site: what happened, where, and on what."""
+
+    kind: EffectKind
+    line: int
+    detail: str
+
+
+@dataclass
+class FunctionEffects:
+    """All effects found in one function, plus derived classification."""
+
+    name: str
+    findings: list[EffectFinding] = field(default_factory=list)
+    seed_params: tuple[str, ...] = ()
+
+    def kinds(self) -> set[EffectKind]:
+        return {finding.kind for finding in self.findings}
+
+    @property
+    def purity(self) -> str:
+        kinds = self.kinds()
+        if kinds & STATEFUL_KINDS:
+            return STATEFUL
+        if EffectKind.PERFORMS_IO in kinds:
+            return IO
+        if kinds & SEEDED_KINDS:
+            return SEEDED
+        return PURE
+
+
+# ---------------------------------------------------------------------------
+# Module context: what does the surrounding module bind at top level?
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Top-level bindings of the module a function lives in.
+
+    ``mutable_globals`` maps names bound to mutable literals (or bare
+    ``list()``/``dict()``/``set()`` calls) to the line of the binding.
+    Names that follow the ``UPPER_CASE`` constant convention or are
+    dunders are *recorded* here but exempted by callers -- the
+    convention marks them as read-only registries/config.
+    """
+
+    bindings: frozenset
+    mutable_globals: dict
+    imports: frozenset = frozenset()
+
+
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+}
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _binding_targets(stmt: ast.stmt):
+    """Yield ``(name, value_or_None, line)`` for a top-level statement."""
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                yield target.id, stmt.value, stmt.lineno
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        yield elt.id, None, stmt.lineno
+    elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+        yield stmt.target.id, stmt.value, stmt.lineno
+    elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+        yield stmt.target.id, None, stmt.lineno
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            name = alias.asname or alias.name.split(".")[0]
+            yield name, None, stmt.lineno
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield stmt.name, None, stmt.lineno
+
+
+def collect_module_context(tree: ast.Module) -> ModuleContext:
+    """Scan a module's top level (and shallow ``if``/``try`` blocks)."""
+    bindings: set = set()
+    mutable: dict = {}
+    imports: set = set()
+
+    def scan(body):
+        for stmt in body:
+            for name, value, line in _binding_targets(stmt):
+                bindings.add(name)
+                if value is not None and _is_mutable_literal(value):
+                    mutable.setdefault(name, line)
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    imports.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.If):
+                scan(stmt.body)
+                scan(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                scan(stmt.body)
+                scan(stmt.orelse)
+                for handler in stmt.handlers:
+                    scan(handler.body)
+
+    scan(tree.body)
+    return ModuleContext(
+        bindings=frozenset(bindings),
+        mutable_globals=mutable,
+        imports=frozenset(imports),
+    )
+
+
+def is_constant_style(name: str) -> bool:
+    """UPPER_CASE or dunder names are read-only registries by convention."""
+    return name == name.upper() or (name.startswith("__") and name.endswith("__"))
+
+
+# ---------------------------------------------------------------------------
+# Function-body analysis
+# ---------------------------------------------------------------------------
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+#: calls through which the taint of the first argument flows unchanged
+_TRANSPARENT_CALLS = frozenset({"enumerate", "zip", "sorted", "reversed", "iter"})
+
+#: numeric/str converters that preserve a params-derived seed key
+_SCALAR_CONVERTERS = frozenset({"int", "float", "str", "bool", "abs"})
+
+#: method names that mutate their receiver in place (exact match).
+#: Deliberately excludes ``partition`` (str.partition is pure and far
+#: more common than ndarray.partition in this codebase).
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "sort",
+        "reverse",
+        "fill",
+        "put",
+        "itemset",
+        "setfield",
+        "setflags",
+        "resize",
+        "byteswap",
+    }
+)
+
+#: method names that mutate their *first argument* in place
+_ARG_MUTATING_METHODS = frozenset({"shuffle"})
+
+#: ``np.<fn>(target, ...)`` functions that mutate their first argument
+_NP_ARG_MUTATORS = frozenset(
+    {"fill_diagonal", "copyto", "put", "place", "putmask", "shuffle"}
+)
+
+#: legacy module-level numpy RNG entry points (always unseeded)
+_LEGACY_NP_RANDOM = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "exponential",
+        "beta",
+        "gamma",
+        "seed",
+    }
+)
+
+#: stdlib ``random`` module-level functions (shared unseeded generator)
+_STDLIB_RANDOM = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "seed",
+        "getrandbits",
+    }
+)
+
+#: RNG constructors that take an explicit seed as first arg
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "np.random.default_rng",
+        "numpy.random.default_rng",
+        "np.random.RandomState",
+        "numpy.random.RandomState",
+        "np.random.Generator",
+        "numpy.random.Generator",
+        "random.Random",
+    }
+)
+
+_IO_MODULE_ROOTS = frozenset(
+    {"shutil", "socket", "urllib", "requests", "subprocess", "http", "ftplib"}
+)
+
+#: ``os.<name>`` members that are pure (everything else under os is IO)
+_OS_PURE = frozenset(
+    {"path", "fspath", "sep", "linesep", "pathsep", "name", "curdir", "pardir"}
+)
+
+_NP_IO_FUNCS = frozenset(
+    {"save", "savez", "savez_compressed", "savetxt", "load", "loadtxt",
+     "fromfile", "genfromtxt", "memmap"}
+)
+
+_IO_METHODS = frozenset(
+    {
+        "write_text",
+        "write_bytes",
+        "read_text",
+        "read_bytes",
+        "unlink",
+        "touch",
+        "mkdir",
+        "rmdir",
+        "rename",
+        "replace_file",
+        "to_csv",
+        "to_json",
+        "to_pickle",
+        "to_parquet",
+        "savefig",
+        "urlopen",
+    }
+)
+
+_IO_DOTTED = frozenset(
+    {"pickle.dump", "pickle.load", "json.dump", "json.load", "os.environ.get"}
+)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _base_name(node: ast.AST) -> str | None:
+    """The innermost ``Name`` of an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _collect_locals(node: ast.AST) -> tuple:
+    """All names bound anywhere inside ``node`` (flat scope model).
+
+    Nested function/lambda arguments and comprehension targets count as
+    locals too: the analysis does not distinguish scopes, which is
+    conservative in the safe direction (a nested binding can only
+    *shadow* a global, never create new global state).
+    Names declared ``global``/``nonlocal`` are excluded (and returned
+    separately).
+    """
+    local: set = set()
+    declared: set = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            local.add(sub.name)
+            args = sub.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                local.add(arg.arg)
+            if args.vararg:
+                local.add(args.vararg.arg)
+            if args.kwarg:
+                local.add(args.kwarg.arg)
+        elif isinstance(sub, ast.Lambda):
+            args = sub.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                local.add(arg.arg)
+            if args.vararg:
+                local.add(args.vararg.arg)
+            if args.kwarg:
+                local.add(args.kwarg.arg)
+        elif isinstance(sub, ast.ClassDef):
+            local.add(sub.name)
+        elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+            for alias in sub.names:
+                local.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(sub, ast.Name) and isinstance(sub.ctx, (ast.Store, ast.Del)):
+            local.add(sub.id)
+        elif isinstance(sub, ast.ExceptHandler) and sub.name:
+            local.add(sub.name)
+        elif isinstance(sub, (ast.Global, ast.Nonlocal)):
+            declared.update(sub.names)
+    return local - declared, declared
+
+
+class _EffectVisitor(ast.NodeVisitor):
+    """Single forward pass over a function body.
+
+    ``self.taint`` maps local names to ``(role, seed_key)`` where role
+    is ``"inputs"`` or ``"params"``.  Assigning a name to the result of
+    an opaque call *clears* its taint (fresh value), which is what makes
+    copy-then-mutate pure.
+    """
+
+    def __init__(self, fn_node, module: ModuleContext | None, roles: dict):
+        self.module = module
+        self.roles = dict(roles)
+        self.locals, self.declared = _collect_locals(fn_node)
+        # taint: name -> (role, params_key_or_None)
+        self.taint = {name: (role, None) for name, role in roles.items()}
+        self.findings: list[EffectFinding] = []
+        self.seed_params: set = set()
+        self._seen_global_reads: set = set()
+
+    # -- helpers -------------------------------------------------------
+
+    def _add(self, kind: EffectKind, node: ast.AST, detail: str) -> None:
+        self.findings.append(
+            EffectFinding(kind=kind, line=getattr(node, "lineno", 0), detail=detail)
+        )
+
+    def _root(self, expr: ast.AST):
+        """Resolve an expression to a taint ``(role, seed_key)`` or (None, None)."""
+        while True:
+            if isinstance(expr, ast.Name):
+                return self.taint.get(expr.id, (None, None))
+            if isinstance(expr, (ast.Attribute, ast.Subscript, ast.Starred)):
+                expr = expr.value
+                continue
+            if isinstance(expr, ast.NamedExpr):
+                expr = expr.value
+                continue
+            if isinstance(expr, ast.IfExp):
+                role, key = self._root(expr.body)
+                if role:
+                    return role, key
+                expr = expr.orelse
+                continue
+            if isinstance(expr, ast.BoolOp):
+                for value in expr.values:
+                    role, key = self._root(value)
+                    if role:
+                        return role, key
+                return None, None
+            if isinstance(expr, ast.Call):
+                func = expr.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _TRANSPARENT_CALLS
+                    and func.id not in self.locals
+                    and expr.args
+                ):
+                    expr = expr.args[0]
+                    continue
+                return None, None
+            return None, None
+
+    def _params_key(self, expr: ast.AST) -> str | None:
+        """The params key an expression reads (``params["seed"]`` -> ``seed``)."""
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            # int(params["seed"]) / float(...) wrappers
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _SCALAR_CONVERTERS
+                and func.id not in self.locals
+                and expr.args
+            ):
+                return self._params_key(expr.args[0])
+            # params.get("seed", default)
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "get"
+                and self._root(func.value)[0] == "params"
+                and expr.args
+                and isinstance(expr.args[0], ast.Constant)
+                and isinstance(expr.args[0].value, str)
+            ):
+                return expr.args[0].value
+            return None
+        if isinstance(expr, ast.Subscript):
+            if self._root(expr.value)[0] == "params":
+                sl = expr.slice
+                if isinstance(sl, ast.Constant) and isinstance(sl.value, str):
+                    return sl.value
+            return None
+        if isinstance(expr, ast.Name):
+            role, key = self.taint.get(expr.id, (None, None))
+            if role == "params":
+                return key
+        return None
+
+    def _flag_mutation(self, role: str, node: ast.AST, detail: str) -> None:
+        kind = (
+            EffectKind.MUTATES_INPUT
+            if role == "inputs"
+            else EffectKind.MUTATES_PARAMS
+        )
+        self._add(kind, node, detail)
+
+    def _flag_external_write(self, base: str, node: ast.AST, detail: str) -> None:
+        """A write through a name that is neither local nor an argument."""
+        if base in _BUILTIN_NAMES and (
+            self.module is None or base not in self.module.bindings
+        ):
+            return
+        if self.module is not None and base in self.module.imports:
+            # attribute access on an imported module is a function call
+            # (np.sort(x) returns a copy), not receiver mutation
+            return
+        self._add(EffectKind.WRITES_GLOBAL, node, detail)
+
+    # -- statements ----------------------------------------------------
+
+    def _bind(self, target: ast.AST, value: ast.AST) -> None:
+        """Record aliasing introduced by ``target = value``."""
+        if isinstance(target, ast.Name):
+            role, key = self._root(value)
+            params_key = self._params_key(value)
+            if params_key is not None:
+                # int(params["seed"]) yields a fresh value, but we keep
+                # the key so a later default_rng(seed) resolves to it.
+                self.taint[target.id] = ("params", params_key)
+            elif role:
+                self.taint[target.id] = (role, key)
+            else:
+                self.taint.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            role, _ = self._root(value)
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                if isinstance(inner, ast.Name):
+                    if role:
+                        self.taint[inner.id] = (role, None)
+                    else:
+                        self.taint.pop(inner.id, None)
+
+    def _check_store_target(self, target: ast.AST, stmt: ast.AST) -> None:
+        """Flag a subscript/attribute store through a tainted or global base."""
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            role, _ = self._root(target.value)
+            base = _base_name(target.value)
+            what = "attribute" if isinstance(target, ast.Attribute) else "item"
+            if role:
+                self._flag_mutation(
+                    role, stmt, f"{what} assignment through {base or role!r}"
+                )
+            elif base and base not in self.locals and base not in self.roles:
+                self._flag_external_write(
+                    base, stmt, f"{what} assignment on non-local {base!r}"
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_store_target(elt, stmt)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store_target(target, node)
+        self.generic_visit(node)
+        for target in node.targets:
+            self._bind(target, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_store_target(node.target, node)
+        self.generic_visit(node)
+        if node.value is not None:
+            self._bind(node.target, node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if isinstance(target, ast.Name):
+            role, _ = self.taint.get(target.id, (None, None))
+            if role:
+                self._flag_mutation(
+                    role, node, f"augmented assignment to alias {target.id!r}"
+                )
+            elif target.id in self.declared:
+                self._add(
+                    EffectKind.WRITES_GLOBAL,
+                    node,
+                    f"augmented assignment to global {target.id!r}",
+                )
+        else:
+            self._check_store_target(target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store_target(target, node)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._bind(node.target, node.iter)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        assigned = sorted(set(node.names))
+        self._add(
+            EffectKind.WRITES_GLOBAL,
+            node,
+            f"declares global {', '.join(repr(n) for n in assigned)}",
+        )
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self._add(
+            EffectKind.WRITES_GLOBAL,
+            node,
+            f"declares nonlocal {', '.join(repr(n) for n in sorted(set(node.names)))}",
+        )
+
+    # -- expressions ---------------------------------------------------
+
+    def _check_rng_call(self, node: ast.Call, dotted: str | None) -> bool:
+        if dotted in _RNG_CONSTRUCTORS:
+            seed_expr = None
+            if node.args:
+                seed_expr = node.args[0]
+            elif node.keywords:
+                for kw in node.keywords:
+                    if kw.arg in ("seed", "x"):
+                        seed_expr = kw.value
+                        break
+            if seed_expr is None or (
+                isinstance(seed_expr, ast.Constant) and seed_expr.value is None
+            ):
+                self._add(
+                    EffectKind.UNSEEDED_RNG, node, f"{dotted}() without a seed"
+                )
+                return True
+            key = self._params_key(seed_expr)
+            role, _ = self._root(seed_expr)
+            if key is not None or role == "params":
+                if key:
+                    self.seed_params.add(key)
+                self._add(
+                    EffectKind.PARAM_SEEDED_RNG,
+                    node,
+                    f"{dotted}(params[{key!r}])" if key else f"{dotted}(<params>)",
+                )
+            else:
+                self._add(
+                    EffectKind.CONST_SEEDED_RNG,
+                    node,
+                    f"{dotted}() seeded with a constant not threaded"
+                    " through params",
+                )
+            return True
+        if dotted:
+            parts = dotted.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] in _LEGACY_NP_RANDOM
+            ):
+                self._add(
+                    EffectKind.UNSEEDED_RNG,
+                    node,
+                    f"legacy global numpy RNG {dotted}()",
+                )
+                return True
+            if (
+                len(parts) == 2
+                and parts[0] == "random"
+                and "random" not in self.locals
+                and parts[1] in _STDLIB_RANDOM
+            ):
+                self._add(
+                    EffectKind.UNSEEDED_RNG,
+                    node,
+                    f"stdlib shared RNG {dotted}()",
+                )
+                return True
+        return False
+
+    def _check_io_call(self, node: ast.Call, dotted: str | None) -> bool:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("open", "input", "print")
+            and func.id not in self.locals
+        ):
+            if func.id == "print":
+                return False  # noisy but harmless; not an effect we gate on
+            self._add(EffectKind.PERFORMS_IO, node, f"calls {func.id}()")
+            return True
+        if not dotted:
+            return False
+        parts = dotted.split(".")
+        if dotted in _IO_DOTTED:
+            self._add(EffectKind.PERFORMS_IO, node, f"calls {dotted}()")
+            return True
+        if parts[0] in _IO_MODULE_ROOTS and parts[0] not in self.locals:
+            self._add(EffectKind.PERFORMS_IO, node, f"calls {dotted}()")
+            return True
+        if parts[0] == "os" and "os" not in self.locals and len(parts) > 1:
+            if parts[1] not in _OS_PURE:
+                self._add(EffectKind.PERFORMS_IO, node, f"calls {dotted}()")
+                return True
+        if (
+            parts[0] in ("np", "numpy")
+            and len(parts) == 2
+            and parts[1] in _NP_IO_FUNCS
+        ):
+            self._add(EffectKind.PERFORMS_IO, node, f"calls {dotted}()")
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _IO_METHODS:
+            self._add(EffectKind.PERFORMS_IO, node, f"calls .{func.attr}()")
+            return True
+        return False
+
+    def _check_mutating_call(self, node: ast.Call, dotted: str | None) -> None:
+        func = node.func
+        # np.fill_diagonal(x, ...) style: mutates first positional arg
+        if dotted:
+            parts = dotted.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] in ("np", "numpy")
+                and parts[1] in _NP_ARG_MUTATORS
+                and node.args
+            ):
+                role, _ = self._root(node.args[0])
+                if role:
+                    self._flag_mutation(role, node, f"{dotted}() mutates its argument")
+                else:
+                    base = _base_name(node.args[0])
+                    if (
+                        base
+                        and base not in self.locals
+                        and base not in self.roles
+                    ):
+                        self._flag_external_write(
+                            base, node, f"{dotted}() mutates non-local {base!r}"
+                        )
+                return
+        if isinstance(func, ast.Attribute):
+            # rng.shuffle(x) mutates x, not rng
+            if func.attr in _ARG_MUTATING_METHODS and node.args:
+                role, _ = self._root(node.args[0])
+                if role:
+                    self._flag_mutation(
+                        role, node, f".{func.attr}() mutates its argument"
+                    )
+                return
+            if func.attr in _MUTATING_METHODS:
+                role, _ = self._root(func.value)
+                base = _base_name(func.value)
+                if role:
+                    self._flag_mutation(
+                        role,
+                        node,
+                        f".{func.attr}() on {base or 'argument alias'!r}",
+                    )
+                elif base and base not in self.locals and base not in self.roles:
+                    self._flag_external_write(
+                        base, node, f".{func.attr}() on non-local {base!r}"
+                    )
+            # pandas-style method(..., inplace=True) on a tainted base
+            for kw in node.keywords:
+                if (
+                    kw.arg == "inplace"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    role, _ = self._root(func.value)
+                    if role:
+                        self._flag_mutation(
+                            role, node, f".{func.attr}(inplace=True)"
+                        )
+        # out= keyword aimed at a tainted array
+        for kw in node.keywords:
+            if kw.arg == "out":
+                role, _ = self._root(kw.value)
+                if role:
+                    self._flag_mutation(
+                        role, node, "out= targets an argument alias"
+                    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if not self._check_rng_call(node, dotted):
+            self._check_io_call(node, dotted)
+        self._check_mutating_call(node, dotted)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if (
+            isinstance(node.ctx, ast.Load)
+            and self.module is not None
+            and node.id not in self.locals
+            and node.id not in self.roles
+            and node.id not in self.taint
+            and node.id in self.module.mutable_globals
+            and not is_constant_style(node.id)
+            and node.id not in self._seen_global_reads
+        ):
+            self._seen_global_reads.add(node.id)
+            self._add(
+                EffectKind.READS_MUTABLE_GLOBAL,
+                node,
+                f"reads mutable module global {node.id!r}",
+            )
+
+
+def _positional_args(node) -> list:
+    args = node.args
+    return [arg.arg for arg in (*args.posonlyargs, *args.args)]
+
+
+def analyze_function(
+    node,
+    module: ModuleContext | None = None,
+    roles: dict | None = None,
+) -> FunctionEffects:
+    """Analyze one function/lambda AST node.
+
+    ``roles`` maps argument names to ``"inputs"`` / ``"params"``.  When
+    omitted, the registered-operation calling convention is assumed:
+    first positional argument is the inputs list, second is the params
+    dict.
+    """
+    if roles is None:
+        positional = _positional_args(node)
+        roles = {}
+        if positional:
+            roles[positional[0]] = "inputs"
+        if len(positional) > 1:
+            roles[positional[1]] = "params"
+    visitor = _EffectVisitor(node, module, roles)
+    body = node.body if isinstance(node.body, list) else [node.body]
+    for stmt in body:
+        visitor.visit(stmt)
+    name = getattr(node, "name", "<lambda>")
+    findings = sorted(visitor.findings, key=lambda f: (f.line, f.kind.value))
+    return FunctionEffects(
+        name=name,
+        findings=findings,
+        seed_params=tuple(sorted(visitor.seed_params)),
+    )

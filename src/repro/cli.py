@@ -261,6 +261,74 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if total_errors else 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.analysis.safety import STATEFUL, IO, audit_registry
+
+    reports = audit_registry()
+    payload = {
+        "operations": [report.to_dict() for report in reports.values()],
+        "summary": {
+            "total": len(reports),
+            "pure": sum(1 for r in reports.values() if r.purity == "pure"),
+            "seeded": sum(
+                1 for r in reports.values()
+                if r.purity == "seeded-stochastic"
+            ),
+            "io": sum(1 for r in reports.values() if r.purity == IO),
+            "stateful": sum(
+                1 for r in reports.values() if r.purity == STATEFUL
+            ),
+        },
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json_module.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json_module.dumps(payload, indent=2))
+    else:
+        header = (
+            f"{'operation':<22} {'purity':<18} {'cache':<6} "
+            f"{'parallel':<9} {'seeds':<12} codes"
+        )
+        print(header)
+        print("-" * len(header))
+        for name, report in reports.items():
+            print(
+                f"{name:<22} {report.purity:<18} "
+                f"{'yes' if report.cacheable else 'NO':<6} "
+                f"{'yes' if report.parallel_safe else 'NO':<9} "
+                f"{','.join(report.seed_params) or '-':<12} "
+                f"{','.join(report.codes()) or '-'}"
+            )
+            if args.verbose:
+                for finding in report.findings:
+                    print(
+                        f"    line {finding.line}: {finding.kind.value} "
+                        f"-- {finding.detail}"
+                    )
+        summary = payload["summary"]
+        print(
+            f"{summary['total']} operation(s): {summary['pure']} pure, "
+            f"{summary['seeded']} seeded, {summary['io']} io, "
+            f"{summary['stateful']} stateful"
+        )
+    unsafe = sorted(
+        name for name, report in reports.items()
+        if report.purity in (STATEFUL, IO)
+    )
+    if args.strict and unsafe:
+        print(
+            f"strict: {len(unsafe)} operation(s) not proven safe: "
+            f"{', '.join(unsafe)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import os
 
@@ -308,7 +376,13 @@ def _cmd_run_template(args: argparse.Namespace) -> int:
     from repro.datasets import load_dataset
 
     pipeline = load_pipeline(args.template)
-    engine = ExecutionEngine(track_memory=True)
+    parallel = args.parallel is not None or args.unsafe_parallel
+    engine = ExecutionEngine(
+        track_memory=not parallel,
+        parallel=parallel,
+        max_workers=args.parallel or 4,
+        unsafe_parallel=args.unsafe_parallel,
+    )
     out = engine.run(pipeline, load_dataset(args.dataset))
     for name, value in out.items():
         print(f"{name}: {value}")
@@ -415,10 +489,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(fn=_cmd_lint)
 
+    p = sub.add_parser(
+        "audit",
+        help="effect/purity audit of every registered operation")
+    p.add_argument("--json", action="store_true",
+                   help="print the audit as JSON (for CI)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the JSON audit to a file")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 if any operation audits stateful or io")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="show per-finding detail under each operation")
+    p.set_defaults(fn=_cmd_audit)
+
     p = sub.add_parser("run-template",
                        help="validate and run a template file")
     p.add_argument("template")
     p.add_argument("dataset")
+    p.add_argument("--parallel", type=int, default=None, metavar="N",
+                   help="execute independent steps concurrently with "
+                   "N workers (stateful-flagged ops are serialized)")
+    p.add_argument("--unsafe-parallel", action="store_true",
+                   help="escape hatch: run even stateful-flagged ops "
+                   "concurrently (results may be corrupted)")
     _add_trace_flag(p)
     p.set_defaults(fn=_cmd_run_template)
 

@@ -17,7 +17,14 @@ adding the three services the paper describes:
 The engine can also execute independent steps concurrently
 (``parallel=True``): steps whose inputs are all available run in one
 thread pool wave, which is the map-reduce shape the paper exploits with
-Ray.  Results are identical either way because operations are pure.
+Ray.  Results are identical either way because operations are pure --
+and the engine *proves* that instead of assuming it: every operation's
+implementation is classified by the effect analyzer
+(:mod:`repro.analysis.safety`), the result cache only memoizes steps
+whose op is pure or seeded-stochastic, cache keys incorporate the seed
+params of seeded ops, and steps flagged stateful/io are serialized
+after each parallel wave (or run concurrently anyway under the
+``unsafe_parallel=True`` escape hatch).
 """
 
 from __future__ import annotations
@@ -60,6 +67,14 @@ def fingerprint_table(table: PacketTable) -> str:
 
 def _params_token(params: dict) -> str:
     return json.dumps(params, sort_keys=True, default=repr)
+
+
+def _operation_report(operation):
+    """Effect/purity report for an operation (lazy import: the analysis
+    package imports this module's sibling, pipeline)."""
+    from repro.analysis.safety import operation_report
+
+    return operation_report(operation)
 
 
 class _ResultCache:
@@ -190,11 +205,16 @@ class ExecutionEngine:
         parallel: bool = False,
         max_workers: int = 4,
         track_memory: bool = True,
+        unsafe_parallel: bool = False,
     ) -> None:
         self.use_cache = use_cache
         self.parallel = parallel
         self.max_workers = max_workers
         self.track_memory = track_memory
+        # escape hatch: run even stateful-flagged ops concurrently.
+        # Caching stays gated -- a corrupted value in the shared cache
+        # would outlive the run that opted into the risk.
+        self.unsafe_parallel = unsafe_parallel
         self.last_report: ProfileReport | None = None
 
     # ------------------------------------------------------------------
@@ -233,6 +253,7 @@ class ExecutionEngine:
             source=token,
             steps=len(pipeline.calls),
             parallel=self.parallel,
+            unsafe_parallel=self.unsafe_parallel,
             outputs=",".join(wanted),
         ) as run_span:
             if self.parallel:
@@ -264,16 +285,34 @@ class ExecutionEngine:
 
     # ------------------------------------------------------------------
 
-    def _step_key(self, call, keys: dict[str, str]) -> str:
+    def _key_material(self, call, keys: dict[str, str]) -> str:
         inputs = ",".join(keys[name] for name in call.inputs)
         raw = f"{call.name}({_params_token(call.params)})<-[{inputs}]"
-        return hashlib.sha1(raw.encode()).hexdigest()
+        seed_params = _operation_report(call.operation).seed_params
+        if seed_params:
+            # make the stochastic identity of the step explicit in the
+            # key material: a seeded op memoized under one seed must
+            # never answer for another, even for hand-built calls whose
+            # params dict omits the seed default
+            seeds = ",".join(
+                f"{name}={call.params.get(name)!r}" for name in seed_params
+            )
+            raw += f"|seeds[{seeds}]"
+        return raw
 
-    def _run_step(self, index, call, env, keys, report, parent=None) -> None:
+    def _step_key(self, call, keys: dict[str, str]) -> str:
+        return hashlib.sha1(self._key_material(call, keys).encode()).hexdigest()
+
+    def _run_step(
+        self, index, call, env, keys, report, parent=None, serialized=False
+    ) -> None:
+        safety = _operation_report(call.operation)
         key = self._step_key(call, keys)
         keys[call.output] = key
         cacheable = (
-            self.use_cache and call.operation.output_type in _CACHEABLE
+            self.use_cache
+            and call.operation.output_type in _CACHEABLE
+            and safety.cacheable
         )
         tracer = get_tracer()
         with tracer.span(
@@ -283,8 +322,22 @@ class ExecutionEngine:
             operation=call.name,
             output=call.output,
             cache_key=key,
+            purity=safety.purity,
             thread=threading.current_thread().name,
         ) as span:
+            if serialized:
+                span.set("serialized", True)
+            if (
+                self.use_cache
+                and call.operation.output_type in _CACHEABLE
+                and not safety.cacheable
+            ):
+                span.set("cache_refused", safety.purity)
+                METRICS.counter(
+                    metric_names.CACHE_REFUSALS,
+                    "cacheable-typed steps refused memoization because"
+                    " their operation is not proven pure/seeded",
+                ).inc()
             if cacheable:
                 hit, value = self.shared_cache.get(key)
                 if hit:
@@ -344,7 +397,14 @@ class ExecutionEngine:
         self, pipeline, env, keys, wanted, last_use, report, run_span=None
     ) -> None:
         """Execute in dataflow waves: each wave runs every step whose
-        inputs are already available, concurrently."""
+        inputs are already available, concurrently.
+
+        Steps whose operation the effect analyzer could not prove
+        parallel-safe are held back from the pool and run serially on
+        this thread *after* the wave's concurrent batch has drained, so
+        a stateful op never overlaps any other step.  ``unsafe_parallel``
+        disables the hold-back.
+        """
         tracer = get_tracer()
         pending = list(enumerate(pipeline.calls))
         wave_index = 0
@@ -361,18 +421,40 @@ class ExecutionEngine:
                         names[0], pending[0][0],
                         RuntimeError("dataflow deadlock (cyclic inputs?)"),
                     )
+                if self.unsafe_parallel:
+                    concurrent, serial = ready, []
+                else:
+                    concurrent = [
+                        item for item in ready
+                        if _operation_report(item[1].operation).parallel_safe
+                    ]
+                    serial = [
+                        item for item in ready
+                        if not _operation_report(item[1].operation).parallel_safe
+                    ]
                 with tracer.span(
                     "wave", parent=run_span,
                     wave=wave_index, size=len(ready),
-                    workers=min(self.max_workers, len(ready)),
+                    workers=min(self.max_workers, max(len(concurrent), 1)),
+                    serialized=len(serial),
                 ) as wave_span:
                     futures = [
                         pool.submit(self._run_step, index, call, env, keys,
                                     report, wave_span)
-                        for index, call in ready
+                        for index, call in concurrent
                     ]
                     for future in futures:
                         future.result()
+                    for index, call in serial:
+                        self._run_step(
+                            index, call, env, keys, report, wave_span,
+                            serialized=True,
+                        )
+                        METRICS.counter(
+                            metric_names.STEPS_SERIALIZED,
+                            "steps run serially in parallel mode because"
+                            " their operation is not proven parallel-safe",
+                        ).inc()
                 # pool threads append profiles in completion order;
                 # keep the report deterministic across runs
                 report.profiles.sort(key=lambda p: p.step)

@@ -15,6 +15,7 @@ Operations are looked up by name from templates (see
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -92,7 +93,12 @@ class Operation:
                 f"operation {self.name!r} got unknown parameters: "
                 f"{sorted(unknown)}"
             )
-        merged = dict(self.optional_params)
+        # deep-copy the defaults: a shallow copy would hand every call
+        # the *same* list/dict default object, so one pipeline mutating
+        # its params would silently rewrite the registry's defaults for
+        # every later call (the classic shared-mutable-default hazard
+        # the effect analyzer exists to catch)
+        merged = copy.deepcopy(self.optional_params)
         merged.update(params)
         return merged
 

@@ -22,12 +22,15 @@ from repro.ml.neural import Autoencoder
 
 
 def correlation_feature_groups(
-    X: np.ndarray, max_group_size: int = 10
+    X: np.ndarray, max_group_size: int = 10, seed: int = 0
 ) -> list[list[int]]:
     """Group features by hierarchical clustering on correlation distance.
 
     Mirrors Kitsune's feature mapper: distance = 1 - |corr|, complete
-    linkage, cut so no group exceeds ``max_group_size`` members.
+    linkage, cut so no group exceeds ``max_group_size`` members.  The
+    jitter applied to zero-variance columns draws from an explicitly
+    seeded generator so the grouping is a pure function of its
+    arguments rather than a hidden constant.
     """
     array = np.atleast_2d(np.asarray(X, dtype=np.float64))
     d = array.shape[1]
@@ -35,7 +38,7 @@ def correlation_feature_groups(
         return [list(range(d))]
     stds = array.std(axis=0)
     safe = array.copy()
-    safe[:, stds == 0.0] += np.random.default_rng(0).normal(
+    safe[:, stds == 0.0] += np.random.default_rng(seed).normal(
         scale=1e-9, size=(len(array), int((stds == 0.0).sum()))
     )
     with np.errstate(invalid="ignore", divide="ignore"):
@@ -77,7 +80,13 @@ class KitNET(BaseEstimator):
     def fit(self, X, y=None) -> "KitNET":
         array = check_array(X)
         rng = check_random_state(self.seed)
-        self.groups_ = correlation_feature_groups(array, self.max_group_size)
+        self.groups_ = correlation_feature_groups(
+            array,
+            self.max_group_size,
+            # thread the estimator's own seed through (0 when unseeded,
+            # matching the previous hard-coded generator bit-for-bit)
+            seed=0 if self.seed is None else int(self.seed),
+        )
         self._ensemble: list[Autoencoder] = []
         member_scores = np.empty((len(array), len(self.groups_)))
         for i, group in enumerate(self.groups_):

@@ -27,6 +27,8 @@ CACHE_DISK_HITS = "engine_cache_disk_hits_total"
 CACHE_EVICTIONS = "engine_cache_evictions_total"
 STEPS_EXECUTED = "engine_steps_executed_total"
 STEPS_CACHED = "engine_steps_cached_total"
+STEPS_SERIALIZED = "engine_steps_serialized_total"
+CACHE_REFUSALS = "engine_cache_refusals_total"
 BYTES_FINGERPRINTED = "engine_bytes_fingerprinted_total"
 RUNS_COMPLETED = "engine_runs_total"
 STEP_SECONDS = "engine_step_seconds"

@@ -152,6 +152,85 @@ class TestWallClock:
         assert found == []
 
 
+class TestOperationMutation:
+    HEADER = (
+        "import numpy as np\n"
+        "from repro.core.operations import register_operation\n"
+        "from repro.core.types import ValueType\n"
+    )
+    DECORATOR = (
+        "@register_operation('X', (ValueType.PACKETS,), ValueType.FEATURES)\n"
+    )
+
+    def test_input_mutation_flagged(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            self.HEADER + self.DECORATOR
+            + "def _x(inputs, params) -> np.ndarray:\n"
+            "    inputs[0].sort()\n"
+            "    return np.zeros((1, 1))\n",
+        )
+        assert [v.code for v in found] == ["AL005"]
+
+    def test_params_mutation_flagged(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            self.HEADER + self.DECORATOR
+            + "def _x(inputs, params) -> np.ndarray:\n"
+            "    params['limit'] = 3\n"
+            "    return np.zeros((1, 1))\n",
+        )
+        assert [v.code for v in found] == ["AL005"]
+
+    def test_copy_then_mutate_ok(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            self.HEADER + self.DECORATOR
+            + "def _x(inputs, params) -> np.ndarray:\n"
+            "    x = inputs[0].copy()\n"
+            "    x.sort()\n"
+            "    return x\n",
+        )
+        assert found == []
+
+    def test_undecorated_function_not_checked(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def helper(inputs, params):\n"
+            "    inputs[0].sort()\n"
+            "    return inputs[0]\n",
+        )
+        assert found == []
+
+
+class TestModuleState:
+    def repro_core_violations_for(self, tmp_path, source):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        path = pkg / "module.py"
+        path.write_text(source)
+        return astlint.lint_file(path)
+
+    def test_lowercase_mutable_global_flagged(self, tmp_path):
+        found = self.repro_core_violations_for(
+            tmp_path, "registry = {}\n"
+        )
+        assert [v.code for v in found] == ["AL006"]
+
+    def test_upper_case_constant_ok(self, tmp_path):
+        found = self.repro_core_violations_for(
+            tmp_path,
+            "REGISTRY = {}\n_TABLE = {'a': 1}\n__all__ = []\n"
+            "cache = {'a': 1}\n",
+        )
+        assert [v.code for v in found] == ["AL006"]
+        assert found[0].line == 4  # only the lowercase binding
+
+    def test_outside_critical_packages_ok(self, tmp_path):
+        found = violations_for(tmp_path, "registry = {}\n")
+        assert found == []
+
+
 class TestGate:
     def test_fixtures_directories_skipped(self, tmp_path):
         fixture_dir = tmp_path / "fixtures"

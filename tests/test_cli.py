@@ -100,6 +100,59 @@ class TestLintCommand:
         assert "TEMPLATE" in out
 
 
+class TestAuditCommand:
+    def test_audit_table_lists_every_operation(self, capsys):
+        from repro.core.operations import OPERATIONS
+
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        for name in OPERATIONS:
+            assert name in out
+        assert "seeded-stochastic" in out  # Downsample
+        assert "0 stateful" in out
+
+    def test_audit_json_payload(self, capsys):
+        assert main(["audit", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["stateful"] == 0
+        by_name = {
+            entry["operation"]: entry for entry in payload["operations"]
+        }
+        downsample = by_name["Downsample"]
+        assert downsample["purity"] == "seeded-stochastic"
+        assert downsample["seed_params"] == ["seed"]
+        assert downsample["cacheable"] is True
+
+    def test_audit_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "audit.json"
+        assert main(["audit", "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["summary"]["total"] == len(payload["operations"])
+
+    def test_audit_strict_clean_registry_passes(self, capsys):
+        assert main(["audit", "--strict"]) == 0
+
+    def test_audit_strict_fails_on_stateful_op(self, capsys):
+        from repro.core.operations import OPERATIONS, register_operation
+        from repro.core.types import ValueType
+
+        def _bad(inputs, params):
+            inputs[0].sort()
+            return inputs[0]
+
+        register_operation(
+            "AuditFixture", (ValueType.PACKETS,), ValueType.PACKETS
+        )(_bad)
+        try:
+            assert main(["audit", "--strict", "-v"]) == 1
+            captured = capsys.readouterr()
+            assert "AuditFixture" in captured.err
+            assert "L021" in captured.out
+            assert "mutates" in captured.out  # -v shows finding detail
+        finally:
+            OPERATIONS.pop("AuditFixture", None)
+
+
 class TestEvaluationCommands:
     def test_evaluate_same_dataset(self, capsys):
         assert main(["evaluate", "A14", "F0"]) == 0
@@ -140,6 +193,16 @@ class TestTemplateCommands:
         out = capsys.readouterr().out
         assert "metrics" in out
         assert "total:" in out
+
+    def test_run_template_parallel(self, tmp_path, capsys):
+        out_file = tmp_path / "t.json"
+        assert main(["template", "--starter", "connection-rf",
+                     "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["run-template", str(out_file), "F0",
+                     "--parallel", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics" in out
 
 
 class TestObservabilityCommands:

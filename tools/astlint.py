@@ -18,6 +18,21 @@ Rules:
   ``src`` directory): wall-clock time is not monotonic and duplicates
   the observability layer.  Use ``time.perf_counter()`` for durations
   or an obs span (:mod:`repro.obs`) for anything worth reporting.
+* **AL005** -- a ``@register_operation`` function that mutates its
+  ``inputs``/``params`` binding in place (item/attribute assignment,
+  mutating method calls, ``np.fill_diagonal``/``out=`` aimed at an
+  argument alias).  Operations must copy before mutating: the engine
+  caches and parallelizes on the assumption that inputs survive a call
+  unchanged.
+* **AL006** -- module-level mutable state (lowercase-named list/dict/
+  set literal bindings) in the engine-critical packages
+  ``src/repro/core/`` and ``src/repro/analysis/``.  Name read-only
+  tables ``UPPER_CASE``, or move the state into an object.
+
+AL005/AL006 reuse the effect analyzer
+(``src/repro/analysis/effects.py``) -- it is stdlib-only and loaded by
+file path, so this gate still imports nothing from the repo (and no
+numpy).
 
 Paths whose components include ``fixtures`` are skipped, as is any
 line carrying an ``# astlint: disable`` comment.
@@ -30,9 +45,36 @@ from __future__ import annotations
 
 import argparse
 import ast
+import importlib.util
 import sys
 from dataclasses import dataclass
 from pathlib import Path
+
+
+def _load_effects():
+    """Load the effect analyzer by file path (no repo/package import)."""
+    path = (
+        Path(__file__).resolve().parent.parent
+        / "src" / "repro" / "analysis" / "effects.py"
+    )
+    if not path.exists():
+        return None
+    spec = importlib.util.spec_from_file_location("_astlint_effects", path)
+    if spec is None or spec.loader is None:
+        return None
+    module = importlib.util.module_from_spec(spec)
+    # dataclass machinery resolves string annotations through
+    # sys.modules[cls.__module__]; register before executing
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception:
+        sys.modules.pop(spec.name, None)
+        return None
+    return module
+
+
+_effects = _load_effects()
 
 #: np.random attributes that use the unseeded process-global RNG
 _LEGACY_NP_RANDOM = {
@@ -230,6 +272,71 @@ def _check_wall_clock(tree: ast.AST, path: Path, out: list[Violation]) -> None:
             ))
 
 
+def _check_operation_effects(
+    tree: ast.AST, path: Path, out: list[Violation]
+) -> None:
+    """AL005: a registered operation mutates an argument binding."""
+    if _effects is None:
+        return
+    module_ctx = _effects.collect_module_context(tree)
+    mutation_kinds = (
+        _effects.EffectKind.MUTATES_INPUT,
+        _effects.EffectKind.MUTATES_PARAMS,
+    )
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        registered = any(
+            isinstance(decorator, ast.Call)
+            and _dotted(decorator.func) == "register_operation"
+            for decorator in node.decorator_list
+        )
+        if not registered:
+            continue
+        effects = _effects.analyze_function(node, module=module_ctx)
+        for finding in effects.findings:
+            if finding.kind not in mutation_kinds:
+                continue
+            binding = (
+                "inputs"
+                if finding.kind is _effects.EffectKind.MUTATES_INPUT
+                else "params"
+            )
+            out.append(Violation(
+                path, finding.line, "AL005",
+                f"{node.name}() mutates its {binding} binding in place "
+                f"({finding.detail}) -- operations must copy before "
+                f"mutating",
+            ))
+
+
+def _check_module_state(
+    tree: ast.AST, path: Path, out: list[Violation]
+) -> None:
+    """AL006: lowercase module-level mutable state in engine packages."""
+    if _effects is None:
+        return
+    parts = path.parts
+    critical = any(
+        parts[i:i + 2] in (("repro", "core"), ("repro", "analysis"))
+        for i in range(len(parts) - 1)
+    )
+    if not critical:
+        return
+    module_ctx = _effects.collect_module_context(tree)
+    for name, line in sorted(
+        module_ctx.mutable_globals.items(), key=lambda item: item[1]
+    ):
+        if _effects.is_constant_style(name):
+            continue
+        out.append(Violation(
+            path, line, "AL006",
+            f"module-level mutable state {name!r} in an engine-critical "
+            f"package -- name it UPPER_CASE if it is a read-only table, "
+            f"or move it into an object",
+        ))
+
+
 def lint_file(path: Path) -> list[Violation]:
     source = path.read_text()
     try:
@@ -242,6 +349,8 @@ def lint_file(path: Path) -> list[Violation]:
     _check_mutable_defaults(tree, path, violations)
     _check_register_operation(tree, path, violations)
     _check_wall_clock(tree, path, violations)
+    _check_operation_effects(tree, path, violations)
+    _check_module_state(tree, path, violations)
     disabled = {
         number
         for number, text in enumerate(source.splitlines(), start=1)
