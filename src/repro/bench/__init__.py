@@ -11,13 +11,15 @@ every figure of the paper's evaluation:
 * :mod:`repro.bench.validation` -- the Section 5.2 validation checks.
 """
 
-from repro.bench.results import EvaluationResult, ResultStore
+from repro.bench.checkpoint import CheckpointJournal, CheckpointState
+from repro.bench.results import EvaluationResult, FailureRecord, ResultStore
 from repro.bench.runner import (
     BenchmarkRunner,
     evaluate_cross_dataset,
     evaluate_same_dataset,
     faithful_pairs,
 )
+from repro.core.errors import EvaluationTimeout
 from repro.bench.heatmap import Heatmap
 from repro.bench.analysis import (
     best_gap_by_algorithm,
@@ -32,7 +34,11 @@ from repro.bench.relevance import feature_relevance, top_features
 from repro.bench.ablation import measure_rewrite_damage
 
 __all__ = [
+    "CheckpointJournal",
+    "CheckpointState",
     "EvaluationResult",
+    "EvaluationTimeout",
+    "FailureRecord",
     "ResultStore",
     "BenchmarkRunner",
     "evaluate_cross_dataset",

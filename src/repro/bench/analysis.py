@@ -84,7 +84,9 @@ def train_test_median_matrix(
     store: ResultStore, *, metric: str = "precision"
 ) -> Heatmap:
     """Figure 10: median score across algorithms per (train, test) cell.
-    Rows are test datasets (Y-axis), columns train datasets (X-axis)."""
+    Rows are test datasets (Y-axis), columns train datasets (X-axis).
+    Pairs with failure records are marked on the heatmap instead of
+    silently blending into the never-evaluated gray cells."""
     cells: dict[tuple[str, str], list[float]] = {}
     for result in store.results:
         cells.setdefault(
@@ -93,8 +95,15 @@ def train_test_median_matrix(
     medians = {
         key: float(np.median(values)) for key, values in cells.items()
     }
-    datasets = store.datasets()
-    return Heatmap.from_cells(medians, datasets, datasets)
+    failed = {
+        (test_dataset, train_dataset)
+        for train_dataset, test_dataset in store.failed_pairs()
+    }
+    datasets = sorted(
+        set(store.datasets())
+        | {name for pair in failed for name in pair}
+    )
+    return Heatmap.from_cells(medians, datasets, datasets, failed=failed)
 
 
 def per_attack_precision(

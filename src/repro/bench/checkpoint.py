@@ -1,0 +1,125 @@
+"""The cell-level checkpoint journal: kill a run, resume in seconds.
+
+As the runner works through a matrix it appends one JSON line per
+*finished* cell -- ``{"kind": "result", ...}`` on success,
+``{"kind": "failure", ...}`` when retries were exhausted -- flushing
+after every line so a killed process loses at most the cell it was
+executing.  ``run_matrix(..., resume=path)`` reads the journal back,
+merges the journaled records into the store, and skips those cells,
+composing with the engine's featurization cache so a restarted 300-cell
+campaign costs seconds, not hours.
+
+A torn final line (the signature of a hard kill mid-write) is detected
+and ignored -- its cell simply re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.results import EvaluationResult, FailureRecord
+from repro.obs import get_tracer
+
+
+@dataclass
+class CheckpointState:
+    """What a journal said: the records and the cells they cover."""
+
+    results: list[EvaluationResult] = field(default_factory=list)
+    failures: list[FailureRecord] = field(default_factory=list)
+    torn_lines: int = 0
+
+    @property
+    def succeeded(self) -> set[tuple[str, str, str]]:
+        return {r.cell for r in self.results}
+
+    @property
+    def failed(self) -> set[tuple[str, str, str]]:
+        return {f.cell for f in self.failures}
+
+    @property
+    def completed(self) -> set[tuple[str, str, str]]:
+        """Every journaled cell, successful or exhausted."""
+        return self.succeeded | self.failed
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of finished evaluation cells."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def _append(self, payload: dict) -> None:
+        line = json.dumps(payload, sort_keys=True)
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def append_result(self, record: EvaluationResult) -> None:
+        from dataclasses import asdict
+
+        self._append({"kind": "result", **asdict(record)})
+
+    def append_failure(self, record: FailureRecord) -> None:
+        self._append({"kind": "failure", **record.to_dict()})
+
+    def append_outcome(
+        self, outcome: EvaluationResult | FailureRecord
+    ) -> None:
+        if isinstance(outcome, FailureRecord):
+            self.append_failure(outcome)
+        else:
+            self.append_result(outcome)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def load(path: str | Path) -> CheckpointState:
+        """Parse a journal, tolerating a torn (killed-mid-write) tail."""
+        state = CheckpointState()
+        text = Path(path).read_text(encoding="utf-8")
+        for number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                # a hard kill can tear the very last line; anything
+                # before the tail is corruption worth surfacing
+                state.torn_lines += 1
+                get_tracer().event(
+                    "checkpoint.torn_line", path=str(path), line=number
+                )
+                continue
+            kind = payload.pop("kind", None)
+            if kind == "result":
+                state.results.append(EvaluationResult(**payload))
+            elif kind == "failure":
+                state.failures.append(FailureRecord.from_dict(payload))
+            else:
+                state.torn_lines += 1
+                get_tracer().event(
+                    "checkpoint.unknown_kind", path=str(path), line=number
+                )
+        return state

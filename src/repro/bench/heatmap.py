@@ -22,11 +22,14 @@ _SHADES = " ░▒▓█"
 @dataclass
 class Heatmap:
     """A labelled 2-D grid of scores in [0, 1]; NaN = no data (the
-    paper's gray squares)."""
+    paper's gray squares).  ``failed`` marks cells a guarded run gave
+    up on -- rendered with a distinct glyph so a partially-failed
+    campaign is distinguishable from one that never ran those cells."""
 
     row_labels: list[str]
     col_labels: list[str]
     values: np.ndarray
+    failed: set = field(default_factory=set)
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=np.float64)
@@ -42,6 +45,7 @@ class Heatmap:
         cells: dict[tuple[str, str], float],
         row_labels: list[str] | None = None,
         col_labels: list[str] | None = None,
+        failed: set | None = None,
     ) -> "Heatmap":
         """Build from a sparse {(row, col): value} mapping."""
         rows = row_labels or sorted({r for r, _ in cells})
@@ -50,7 +54,12 @@ class Heatmap:
         for (row, col), value in cells.items():
             if row in rows and col in cols:
                 values[rows.index(row), cols.index(col)] = value
-        return cls(rows, cols, values)
+        kept_failed = {
+            (row, col)
+            for row, col in (failed or set())
+            if row in rows and col in cols
+        }
+        return cls(rows, cols, values, failed=kept_failed)
 
     def cell(self, row: str, col: str) -> float:
         return float(
@@ -58,7 +67,8 @@ class Heatmap:
         )
 
     def render(self, *, decimals: int = 2) -> str:
-        """Aligned text grid; '--' marks missing cells."""
+        """Aligned text grid; '--' marks missing cells, '!!' failed
+        ones (a footnote explains the glyph when any are present)."""
         width = max(
             [decimals + 3]
             + [len(label) for label in self.col_labels]
@@ -71,15 +81,25 @@ class Heatmap:
             cells = []
             for j in range(len(self.col_labels)):
                 value = self.values[i, j]
+                has_failure = (row_label, self.col_labels[j]) in self.failed
                 if math.isnan(value):
-                    cells.append(f"{'--':>{width}}")
+                    mark = "!!" if has_failure else "--"
+                    cells.append(f"{mark:>{width}}")
                 else:
                     shade = _SHADES[
                         min(int(np.clip(value, 0, 1) * len(_SHADES)),
                             len(_SHADES) - 1)
                     ]
-                    cells.append(f"{value:.{decimals}f}{shade}".rjust(width))
+                    # a valued cell with failures behind it keeps its
+                    # number but trades the shade for a warning mark
+                    mark = "!" if has_failure else shade
+                    cells.append(f"{value:.{decimals}f}{mark}".rjust(width))
             out.append(f"{row_label:<{row_width}}" + "".join(cells))
+        if self.failed:
+            out.append(
+                f"({len(self.failed)} failed cell(s): '!!' = no data, "
+                f"'!' = partial data)"
+            )
         return "\n".join(out)
 
     def to_csv(self) -> str:
@@ -88,13 +108,17 @@ class Heatmap:
         writer = csv.writer(buffer)
         writer.writerow([""] + self.col_labels)
         for i, row_label in enumerate(self.row_labels):
-            writer.writerow(
-                [row_label]
-                + [
-                    "" if math.isnan(v) else f"{v:.6f}"
-                    for v in self.values[i]
-                ]
-            )
+            row = []
+            for j, value in enumerate(self.values[i]):
+                if (row_label, self.col_labels[j]) in self.failed and (
+                    math.isnan(value)
+                ):
+                    row.append("failed")
+                elif math.isnan(value):
+                    row.append("")
+                else:
+                    row.append(f"{value:.6f}")
+            writer.writerow([row_label] + row)
         return buffer.getvalue()
 
     def row_means(self) -> dict[str, float]:

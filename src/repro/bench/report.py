@@ -42,9 +42,34 @@ def _recommendations(store: ResultStore) -> list[str]:
     return lines
 
 
+def _failures_section(store: ResultStore) -> list[str]:
+    """A table of failed cells (guarded runs record these instead of
+    crashing the campaign)."""
+    parts = [
+        "## Failed evaluations", "",
+        f"{len(store.failures)} cell(s) exhausted their retries; the "
+        f"analyses below cover the cells that completed.",
+        "",
+        "| algorithm | train | test | phase | error | attempts |",
+        "|---|---|---|---|---|---|",
+    ]
+    for failure in store.failures:
+        parts.append(
+            f"| {failure.algorithm} | {failure.train_dataset} "
+            f"| {failure.test_dataset} | {failure.phase} "
+            f"| {failure.error_type} | {failure.attempts} |"
+        )
+    parts.append("")
+    return parts
+
+
 def generate_report(store: ResultStore, title: str = "Lumen benchmark report") -> str:
-    """Render the full analysis bundle as markdown."""
-    if len(store) == 0:
+    """Render the full analysis bundle as markdown.
+
+    A store holding only failures still renders (title + failure
+    table), so a fully-faulted campaign produces a readable post-mortem
+    rather than a crash."""
+    if len(store) == 0 and not store.failures:
         raise ValueError("cannot report on an empty result store")
     parts: list[str] = [f"# {title}", ""]
     parts.append(
@@ -52,6 +77,10 @@ def generate_report(store: ResultStore, title: str = "Lumen benchmark report") -
         f"algorithms and {len(store.datasets())} datasets."
     )
     parts.append("")
+    if store.failures:
+        parts.extend(_failures_section(store))
+    if len(store) == 0:
+        return "\n".join(parts)
 
     same = store.query(mode="same")
     cross = store.query(mode="cross")

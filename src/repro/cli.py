@@ -4,7 +4,11 @@ The operator-facing surface of the benchmarking suite:
 
 * ``datasets`` / ``algorithms`` / ``operations`` -- inventories;
 * ``evaluate`` -- one (algorithm, train, test) evaluation;
-* ``matrix`` -- the full faithful matrix, saved as JSON/CSV;
+* ``matrix`` (alias ``run-matrix``) -- the full faithful matrix, saved
+  as JSON/CSV; ``--keep-going``/``--retries``/``--cell-timeout`` turn
+  on fault-tolerant execution, ``--checkpoint``/``--resume`` journal
+  and restart interrupted campaigns, and ``--faults`` injects
+  deterministic chaos (see ``docs/ROBUSTNESS.md``);
 * ``figure`` -- render any Section 5 figure from saved results;
 * ``validate`` -- the Section 5.2 validation table;
 * ``profile`` -- per-operation time/memory for one featurization;
@@ -85,14 +89,45 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_matrix(args: argparse.Namespace) -> int:
     from repro.bench import BenchmarkRunner
 
-    runner = BenchmarkRunner(seed=args.seed)
+    injector = None
+    if args.faults:
+        from repro.faults import FaultInjector, FaultPlan, install
+
+        try:
+            plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        injector = install(FaultInjector(plan))
+        print(f"fault injection active: {plan.describe()}")
+    runner = BenchmarkRunner(
+        seed=args.seed,
+        retries=args.retries,
+        cell_timeout=args.cell_timeout,
+    )
     algorithms = args.algorithms.split(",") if args.algorithms else None
     datasets = args.datasets.split(",") if args.datasets else None
-    runner.run_matrix(algorithms, datasets)
+    try:
+        runner.run_matrix(
+            algorithms,
+            datasets,
+            keep_going=args.keep_going,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            retry_failed=args.retry_failed,
+        )
+    finally:
+        if injector is not None:
+            from repro.faults import uninstall
+
+            uninstall()
     runner.store.save_json(args.out)
     if args.csv:
         runner.store.save_csv(args.csv)
-    print(f"{len(runner.store)} evaluations -> {args.out}")
+    summary = f"{len(runner.store)} evaluations"
+    if runner.store.failures:
+        summary += f", {len(runner.store.failures)} failure(s)"
+    print(f"{summary} -> {args.out}")
     return 0
 
 
@@ -418,13 +453,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flag(p)
     p.set_defaults(fn=_cmd_evaluate)
 
-    p = sub.add_parser("matrix", help="run the faithful evaluation matrix")
+    p = sub.add_parser("matrix", aliases=["run-matrix"],
+                       help="run the faithful evaluation matrix")
     p.add_argument("--algorithms", default=None,
                    help="comma-separated ids (default: all)")
     p.add_argument("--datasets", default=None)
     p.add_argument("--out", default="results.json")
     p.add_argument("--csv", default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--keep-going", action="store_true",
+                   help="continue past cells whose retries are "
+                   "exhausted, recording a failure record per cell")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry each failing cell up to N times with "
+                   "seeded exponential backoff")
+    p.add_argument("--cell-timeout", type=float, default=None, metavar="S",
+                   help="per-cell wall-clock deadline in seconds "
+                   "(exceeded cells raise EvaluationTimeout)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="journal each finished cell to a JSONL file as "
+                   "the run progresses")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="skip cells already journaled in PATH, merging "
+                   "their records; continues journaling to PATH")
+    p.add_argument("--retry-failed", action="store_true",
+                   help="with --resume: re-run journaled failures "
+                   "instead of carrying them forward")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="deterministic fault injection, e.g. "
+                   "'featurize:0.25,train:#2:oserror' "
+                   "(see docs/ROBUSTNESS.md)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the fault plan's firing decisions")
     _add_trace_flag(p)
     p.set_defaults(fn=_cmd_matrix)
 

@@ -117,6 +117,33 @@ class _ResultCache:
         METRICS.counter(name).inc()
         get_tracer().event(f"cache.{event}", key=key)
 
+    def _quarantine(self, path, key: str) -> None:
+        """Rename an unreadable ``.npz`` aside so it misses exactly once.
+
+        The corrupt file keeps its bytes (as ``<key>.npz.corrupt``) for
+        post-mortem inspection instead of crashing every subsequent run
+        that touches the key.
+        """
+        import os
+
+        corrupt = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, corrupt)
+            quarantined = str(corrupt)
+        except OSError:
+            # rename refused (e.g. permissions): fall back to deletion
+            # so the poisoned file cannot wedge the cache forever
+            try:
+                path.unlink()
+                quarantined = "(deleted)"
+            except OSError:
+                quarantined = "(left in place)"
+        METRICS.counter(
+            metric_names.CACHE_CORRUPT,
+            "unreadable disk-cache files quarantined",
+        ).inc()
+        get_tracer().event("cache.corrupt", key=key, quarantined=quarantined)
+
     def get(self, key: str) -> tuple[bool, Any]:
         with self._lock:
             if key in self._store:
@@ -128,13 +155,23 @@ class _ResultCache:
         if self.disk_dir:
             path = self._disk_path(key)
             if path.exists():
+                import zipfile
+
                 import numpy as _np
 
+                from repro.faults.injector import FaultInjected, maybe_inject
+
                 try:
+                    maybe_inject("cache_disk_read", key=key)
                     with _np.load(path, allow_pickle=False) as data:
                         value = data["value"]
-                except (OSError, KeyError, ValueError):
+                except (OSError, KeyError, ValueError,
+                        zipfile.BadZipFile, FaultInjected):
+                    # a truncated/torn .npz (or an injected disk error)
+                    # must never take down the run: quarantine it and
+                    # fall through to a plain miss
                     value = None
+                    self._quarantine(path, key)
                 if value is not None:
                     with self._lock:
                         self.hits += 1
@@ -166,10 +203,50 @@ class _ResultCache:
             import numpy as _np
 
             if isinstance(value, _np.ndarray):
-                from pathlib import Path
+                self._write_disk(key, value)
 
-                Path(self.disk_dir).mkdir(parents=True, exist_ok=True)
-                _np.savez_compressed(self._disk_path(key), value=value)
+    def _write_disk(self, key: str, value) -> None:
+        """Atomically persist one array: temp file + ``os.replace``.
+
+        A process killed mid-write can therefore never leave a torn
+        ``.npz`` behind -- readers see either the old file, the new
+        file, or nothing.  Write errors degrade to memory-only caching
+        instead of aborting the run.
+        """
+        import os
+        import tempfile
+        from pathlib import Path
+
+        import numpy as _np
+
+        from repro.faults.injector import FaultInjected, maybe_inject
+
+        tmp_path = None
+        try:
+            maybe_inject("cache_disk_write", key=key)
+            Path(self.disk_dir).mkdir(parents=True, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.disk_dir, prefix=f".{key}.", suffix=".tmp"
+            )
+            with os.fdopen(fd, "wb") as handle:
+                _np.savez_compressed(handle, value=value)
+            os.replace(tmp_path, self._disk_path(key))
+            tmp_path = None
+        except (OSError, ValueError, FaultInjected) as exc:
+            METRICS.counter(
+                metric_names.CACHE_WRITE_ERRORS,
+                "disk-cache writes that failed (memory tier still holds"
+                " the value)",
+            ).inc()
+            get_tracer().event(
+                "cache.write_error", key=key, error=type(exc).__name__
+            )
+        finally:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    get_tracer().event("cache.tmp_orphan", path=tmp_path)
 
     def clear(self) -> None:
         with self._lock:
@@ -180,7 +257,8 @@ class _ResultCache:
             METRICS.gauge(metric_names.CACHE_ENTRIES).set(0)
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
 
 #: value types worth caching across runs (models are re-trained so

@@ -27,6 +27,22 @@ class TemplateDiagnosticError(TemplateError):
         return {d.code for d in self.diagnostics}
 
 
+class EvaluationTimeout(RuntimeError):
+    """A benchmark cell exceeded its wall-clock deadline.
+
+    Raised by the runner's watchdog (not by the cell itself), so it is
+    distinguishable from any exception the evaluation code could raise
+    and can be reported -- and retried -- as its own failure class.
+    """
+
+    def __init__(self, seconds: float, cell: str) -> None:
+        super().__init__(
+            f"evaluation {cell} exceeded its {seconds:g}s deadline"
+        )
+        self.seconds = seconds
+        self.cell = cell
+
+
 class PipelineError(RuntimeError):
     """An operation failed at execution time.
 

@@ -1,0 +1,155 @@
+"""The fault injector and the process-wide injection hooks.
+
+A :class:`FaultInjector` holds a :class:`~repro.faults.plan.FaultPlan`
+and a per-site invocation counter; instrumented call sites in the
+engine and the benchmark runner call :func:`maybe_inject` which is a
+no-op until an injector is installed (so production runs pay one ``is
+None`` check per site).  When the plan says an invocation fires, the
+chosen exception type is raised *at the call site*, exactly as a real
+disk error or model crash would surface, and the firing is recorded on
+``injector.fired``, the ``faults_injected_total`` counter, and a
+``fault.injected`` trace event.
+"""
+
+from __future__ import annotations
+
+import threading
+import zipfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.faults.plan import FaultPlan
+from repro.obs import METRICS, get_tracer
+from repro.obs import metrics as metric_names
+
+
+class FaultInjected(RuntimeError):
+    """The default exception the chaos harness raises at a site."""
+
+    def __init__(self, site: str, index: int) -> None:
+        super().__init__(
+            f"injected fault at {site!r} (invocation {index})"
+        )
+        self.site = site
+        self.index = index
+
+    def __reduce__(self):
+        # copy/pickle must rebuild via (site, index), not the message
+        return (type(self), (self.site, self.index))
+
+
+#: spec exception names -> the exception classes actually raised
+EXCEPTIONS: dict[str, type[Exception]] = {
+    "fault": FaultInjected,
+    "oserror": OSError,
+    "valueerror": ValueError,
+    "runtimeerror": RuntimeError,
+    "badzipfile": zipfile.BadZipFile,
+}
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One firing: which site, which invocation, what was raised."""
+
+    site: str
+    index: int
+    exception: str
+    detail: dict = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Counts invocations per site and raises when the plan says so."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self.fired: list[FiredFault] = []
+
+    def invocations(self, site: str) -> int:
+        with self._lock:
+            return self._counts.get(site, 0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self.fired.clear()
+
+    def check(self, site: str, **detail) -> None:
+        """Record one invocation at ``site``; raise if the plan fires."""
+        with self._lock:
+            index = self._counts.get(site, 0)
+            self._counts[site] = index + 1
+            rule = self.plan.rule_for(site)
+            fires = rule is not None and self.plan.should_fire(site, index)
+            if fires:
+                self.fired.append(
+                    FiredFault(site, index, rule.exception, dict(detail))
+                )
+        if not fires:
+            return
+        METRICS.counter(
+            metric_names.FAULTS_INJECTED,
+            "exceptions raised by the deterministic fault injector",
+        ).inc()
+        get_tracer().event(
+            "fault.injected",
+            site=site, index=index, exception=rule.exception, **detail,
+        )
+        exc_cls = EXCEPTIONS[rule.exception]
+        if exc_cls is FaultInjected:
+            raise FaultInjected(site, index)
+        raise exc_cls(
+            f"injected {rule.exception} at {site!r} (invocation {index})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# the process-wide active injector
+# ---------------------------------------------------------------------------
+
+_ACTIVE: FaultInjector | None = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    """Make ``injector`` the process-wide active injector."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = injector
+    return injector
+
+
+def uninstall() -> None:
+    """Deactivate fault injection (idempotent)."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = None
+
+
+def get_injector() -> FaultInjector | None:
+    """The active injector, if any."""
+    return _ACTIVE
+
+
+def maybe_inject(site: str, **detail) -> None:
+    """Hook placed at instrumented call sites; no-op when inactive."""
+    injector = _ACTIVE
+    if injector is not None:
+        injector.check(site, **detail)
+
+
+@contextmanager
+def active(plan_or_injector: FaultPlan | FaultInjector):
+    """Install an injector for the duration of a ``with`` block."""
+    injector = (
+        plan_or_injector
+        if isinstance(plan_or_injector, FaultInjector)
+        else FaultInjector(plan_or_injector)
+    )
+    install(injector)
+    try:
+        yield injector
+    finally:
+        uninstall()

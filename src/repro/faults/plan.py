@@ -1,0 +1,146 @@
+"""Deterministic fault plans: *where* and *how often* to break things.
+
+A :class:`FaultPlan` maps injection sites (``featurize``, ``train``,
+``predict``, ``cache_disk_read``, ``cache_disk_write``) to firing rules.
+Whether invocation *i* at a site fires is a pure function of
+``(seed, site, i)`` -- a SHA-256 hash scaled to [0, 1) and compared to
+the site's rate -- so the same plan breaks the same calls every run, on
+every machine, regardless of thread scheduling or call interleaving
+across sites.  That determinism is what makes the retry, checkpoint and
+degradation paths *testable*: a chaos test can assert exactly which
+cells failed.
+
+Plans are built programmatically or parsed from a compact spec string
+(the ``--faults`` CLI flag)::
+
+    featurize:0.25                 25% of featurize calls raise
+    train:#2                       the first 2 train calls raise
+    cache_disk_read:0.5:oserror    half of disk reads raise OSError
+
+Multiple comma-separated clauses compose into one plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+#: the call sites the engine and runner expose to the injector
+SITES = (
+    "featurize",
+    "train",
+    "predict",
+    "cache_disk_read",
+    "cache_disk_write",
+)
+
+#: spellings accepted by the spec parser for the injected exception type
+EXCEPTION_NAMES = (
+    "fault",
+    "oserror",
+    "valueerror",
+    "runtimeerror",
+    "badzipfile",
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One site's firing rule: a rate, a fail-first count, or both."""
+
+    site: str
+    rate: float = 0.0
+    fail_first: int = 0
+    exception: str = "fault"
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; choose from "
+                f"{', '.join(SITES)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.fail_first < 0:
+            raise ValueError("fail_first must be >= 0")
+        if self.exception not in EXCEPTION_NAMES:
+            raise ValueError(
+                f"unknown exception name {self.exception!r}; choose from "
+                f"{', '.join(EXCEPTION_NAMES)}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus per-site rules; decisions are pure and repeatable."""
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for rule in self.rules:
+            if rule.site in seen:
+                raise ValueError(f"duplicate rule for site {rule.site!r}")
+            seen.add(rule.site)
+
+    def rule_for(self, site: str) -> FaultRule | None:
+        for rule in self.rules:
+            if rule.site == site:
+                return rule
+        return None
+
+    def should_fire(self, site: str, index: int) -> bool:
+        """Deterministic decision for invocation ``index`` at ``site``."""
+        rule = self.rule_for(site)
+        if rule is None:
+            return False
+        if index < rule.fail_first:
+            return True
+        if rule.rate <= 0.0:
+            return False
+        digest = hashlib.sha256(
+            f"{self.seed}|{site}|{index}".encode()
+        ).digest()
+        # 8 bytes of hash -> uniform [0, 1); compare to the site's rate
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        return draw < rule.rate
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, *, seed: int = 0) -> "FaultPlan":
+        """Parse ``site:rate[:exception]`` clauses (see module docs)."""
+        rules: list[FaultRule] = []
+        for clause in spec.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            parts = clause.split(":")
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"bad fault clause {clause!r}; expected "
+                    f"site:rate[:exception] or site:#N[:exception]"
+                )
+            site, amount = parts[0], parts[1]
+            exception = parts[2] if len(parts) == 3 else "fault"
+            rate, fail_first = 0.0, 0
+            if amount.startswith("#"):
+                fail_first = int(amount[1:])
+            else:
+                rate = float(amount)
+            rules.append(FaultRule(site, rate, fail_first, exception))
+        if not rules:
+            raise ValueError(f"empty fault spec {spec!r}")
+        return cls(seed=seed, rules=tuple(rules))
+
+    def describe(self) -> str:
+        """The plan back in spec form (plus the seed)."""
+        clauses = []
+        for rule in self.rules:
+            amount = f"#{rule.fail_first}" if rule.fail_first else f"{rule.rate}"
+            clause = f"{rule.site}:{amount}"
+            if rule.exception != "fault":
+                clause += f":{rule.exception}"
+            clauses.append(clause)
+        return f"{','.join(clauses)} (seed={self.seed})"

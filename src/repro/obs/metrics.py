@@ -38,6 +38,13 @@ ATTACK_PACKETS = "traffic_attack_packets_total"
 TRACES_BUILT = "traffic_traces_built_total"
 EVALUATIONS_COMPLETED = "bench_evaluations_completed_total"
 EVALUATION_SECONDS = "bench_evaluation_seconds"
+EVALUATIONS_FAILED = "bench_evaluations_failed_total"
+EVALUATIONS_RETRIED = "bench_evaluations_retried_total"
+EVALUATIONS_RESUMED = "bench_evaluations_resumed_total"
+EVALUATION_TIMEOUTS = "bench_evaluation_timeouts_total"
+CACHE_CORRUPT = "engine_cache_corrupt_total"
+CACHE_WRITE_ERRORS = "engine_cache_write_errors_total"
+FAULTS_INJECTED = "faults_injected_total"
 
 
 class Counter:

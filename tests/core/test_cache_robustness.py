@@ -1,0 +1,119 @@
+"""Tests for the disk cache's corruption and fault handling.
+
+The disk tier must never take a run down: torn ``.npz`` files are
+quarantined aside (so they miss exactly once and stay inspectable),
+writes are atomic (temp file + rename), and injected disk faults
+degrade to memory-only behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import _ResultCache
+from repro.faults import FaultPlan, active
+from repro.obs import METRICS
+from repro.obs import metrics as metric_names
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return _ResultCache(disk_dir=str(tmp_path))
+
+
+def disk_files(tmp_path, pattern="*"):
+    return sorted(p.name for p in tmp_path.glob(pattern))
+
+
+class TestAtomicWrites:
+    def test_put_persists_and_leaves_no_temp_files(self, cache, tmp_path):
+        cache.put("k1", np.arange(5))
+        assert disk_files(tmp_path) == ["k1.npz"]
+        assert disk_files(tmp_path, "*.tmp") == []
+
+    def test_round_trip_through_disk(self, cache, tmp_path):
+        cache.put("k1", np.arange(5.0))
+        fresh = _ResultCache(disk_dir=str(tmp_path))  # new memory tier
+        hit, value = fresh.get("k1")
+        assert hit
+        np.testing.assert_array_equal(value, np.arange(5.0))
+        assert fresh.disk_hits == 1
+
+    def test_non_array_values_stay_memory_only(self, cache, tmp_path):
+        cache.put("k1", {"not": "an array"})
+        assert disk_files(tmp_path) == []
+        assert cache.get("k1") == (True, {"not": "an array"})
+
+    def test_len_counts_memory_entries(self, cache):
+        cache.put("a", np.ones(2))
+        cache.put("b", {"x": 1})
+        assert len(cache) == 2
+
+
+class TestCorruptQuarantine:
+    def test_garbage_file_quarantined_once(self, cache, tmp_path):
+        (tmp_path / "bad.npz").write_bytes(b"not a real npz file")
+        corrupt = METRICS.counter(metric_names.CACHE_CORRUPT).value
+        hit, value = cache.get("bad")
+        assert not hit and value is None
+        assert disk_files(tmp_path) == ["bad.npz.corrupt"]
+        assert (
+            METRICS.counter(metric_names.CACHE_CORRUPT).value == corrupt + 1
+        )
+        # the poisoned bytes are kept for post-mortem inspection
+        assert (tmp_path / "bad.npz.corrupt").read_bytes().startswith(b"not")
+        # second lookup is a plain miss: nothing left to quarantine
+        assert cache.get("bad") == (False, None)
+        assert (
+            METRICS.counter(metric_names.CACHE_CORRUPT).value == corrupt + 1
+        )
+
+    def test_truncated_zip_quarantined(self, cache, tmp_path):
+        cache.put("torn", np.arange(64.0))
+        path = tmp_path / "torn.npz"
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        fresh = _ResultCache(disk_dir=str(tmp_path))
+        hit, _ = fresh.get("torn")
+        assert not hit
+        assert "torn.npz.corrupt" in disk_files(tmp_path)
+
+    def test_quarantined_key_recomputes_and_reheals(self, cache, tmp_path):
+        (tmp_path / "k.npz").write_bytes(b"junk")
+        assert cache.get("k") == (False, None)  # quarantined
+        cache.put("k", np.ones(3))  # recomputed value persists again
+        assert "k.npz" in disk_files(tmp_path)
+        assert "k.npz.corrupt" in disk_files(tmp_path)
+
+
+class TestInjectedDiskFaults:
+    def test_read_fault_quarantines_and_misses(self, cache, tmp_path):
+        cache.put("k", np.arange(4))
+        fresh = _ResultCache(disk_dir=str(tmp_path))
+        with active(FaultPlan.parse("cache_disk_read:#1")):
+            assert fresh.get("k") == (False, None)
+        assert disk_files(tmp_path, "*.npz") == []
+        assert "k.npz.corrupt" in disk_files(tmp_path)
+
+    def test_write_fault_degrades_to_memory_only(self, cache, tmp_path):
+        errors = METRICS.counter(metric_names.CACHE_WRITE_ERRORS).value
+        with active(FaultPlan.parse("cache_disk_write:#1")):
+            cache.put("k", np.arange(4))
+        assert disk_files(tmp_path) == []  # no file, no temp orphan
+        assert (
+            METRICS.counter(metric_names.CACHE_WRITE_ERRORS).value
+            == errors + 1
+        )
+        hit, value = cache.get("k")  # the memory tier still serves it
+        assert hit
+        np.testing.assert_array_equal(value, np.arange(4))
+
+    def test_write_fault_is_transient(self, cache, tmp_path):
+        with active(FaultPlan.parse("cache_disk_write:#1")):
+            cache.put("k1", np.ones(2))  # fails
+            cache.put("k2", np.ones(2))  # next write succeeds
+        assert disk_files(tmp_path) == ["k2.npz"]
+
+    def test_oserror_write_fault_also_handled(self, cache, tmp_path):
+        with active(FaultPlan.parse("cache_disk_write:#1:oserror")):
+            cache.put("k", np.arange(4))
+        assert disk_files(tmp_path) == []
+        assert cache.get("k")[0]

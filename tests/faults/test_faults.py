@@ -1,0 +1,253 @@
+"""Tests for the deterministic fault plan and injector.
+
+The whole point of the harness is that firing decisions are a pure
+function of (seed, site, invocation index): the same plan breaks the
+same calls every run.  These tests pin that contract down, plus the
+spec parser, the exception-type mapping, and the process-wide
+install/uninstall hooks.
+"""
+
+import zipfile
+
+import pytest
+
+from repro.faults import (
+    EXCEPTIONS,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    active,
+    get_injector,
+    install,
+    maybe_inject,
+    uninstall,
+)
+from repro.faults.plan import EXCEPTION_NAMES, SITES
+from repro.obs import METRICS
+from repro.obs import metrics as metric_names
+
+
+class TestFaultRule:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule("teleport", rate=0.5)
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule("train", rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule("train", rate=-0.1)
+
+    def test_negative_fail_first_rejected(self):
+        with pytest.raises(ValueError, match="fail_first"):
+            FaultRule("train", fail_first=-1)
+
+    def test_unknown_exception_rejected(self):
+        with pytest.raises(ValueError, match="unknown exception"):
+            FaultRule("train", rate=0.5, exception="segfault")
+
+    def test_every_spec_name_maps_to_a_class(self):
+        assert set(EXCEPTION_NAMES) == set(EXCEPTIONS)
+
+
+class TestFaultPlan:
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(rules=(FaultRule("train", rate=0.1),
+                             FaultRule("train", rate=0.2)))
+
+    def test_no_rule_never_fires(self):
+        plan = FaultPlan(seed=0, rules=(FaultRule("train", rate=1.0),))
+        assert not any(plan.should_fire("predict", i) for i in range(50))
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(seed=0, rules=(FaultRule("train", rate=1.0),))
+        assert all(plan.should_fire("train", i) for i in range(50))
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(seed=0, rules=(FaultRule("train", rate=0.0),))
+        assert not any(plan.should_fire("train", i) for i in range(50))
+
+    def test_fail_first_covers_exactly_the_prefix(self):
+        plan = FaultPlan(seed=0, rules=(FaultRule("train", fail_first=3),))
+        assert [plan.should_fire("train", i) for i in range(5)] == [
+            True, True, True, False, False,
+        ]
+
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan(seed=7, rules=(FaultRule("featurize", rate=0.4),))
+        b = FaultPlan(seed=7, rules=(FaultRule("featurize", rate=0.4),))
+        pattern = [a.should_fire("featurize", i) for i in range(200)]
+        assert pattern == [b.should_fire("featurize", i) for i in range(200)]
+        # and it's not degenerate: some fire, some don't
+        assert any(pattern) and not all(pattern)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, rules=(FaultRule("featurize", rate=0.5),))
+        b = FaultPlan(seed=2, rules=(FaultRule("featurize", rate=0.5),))
+        assert [a.should_fire("featurize", i) for i in range(200)] != [
+            b.should_fire("featurize", i) for i in range(200)
+        ]
+
+    def test_rate_roughly_respected(self):
+        plan = FaultPlan(seed=0, rules=(FaultRule("train", rate=0.25),))
+        fired = sum(plan.should_fire("train", i) for i in range(2000))
+        assert 350 < fired < 650  # ~500 expected
+
+    def test_sites_are_independent_streams(self):
+        plan = FaultPlan(
+            seed=0,
+            rules=(FaultRule("train", rate=0.5),
+                   FaultRule("predict", rate=0.5)),
+        )
+        train = [plan.should_fire("train", i) for i in range(100)]
+        predict = [plan.should_fire("predict", i) for i in range(100)]
+        assert train != predict
+
+
+class TestSpecParsing:
+    def test_rate_clause(self):
+        plan = FaultPlan.parse("featurize:0.25")
+        rule = plan.rule_for("featurize")
+        assert rule.rate == 0.25 and rule.fail_first == 0
+        assert rule.exception == "fault"
+
+    def test_fail_first_clause(self):
+        rule = FaultPlan.parse("train:#2").rule_for("train")
+        assert rule.fail_first == 2 and rule.rate == 0.0
+
+    def test_exception_clause(self):
+        rule = FaultPlan.parse("cache_disk_read:0.5:oserror").rule_for(
+            "cache_disk_read"
+        )
+        assert rule.exception == "oserror"
+
+    def test_multiple_clauses_compose(self):
+        plan = FaultPlan.parse("featurize:0.25,train:#2:oserror", seed=9)
+        assert plan.seed == 9
+        assert len(plan.rules) == 2
+        assert plan.rule_for("train").exception == "oserror"
+
+    def test_describe_round_trips(self):
+        plan = FaultPlan.parse("featurize:0.25,train:#2:oserror", seed=9)
+        again = FaultPlan.parse(plan.describe().split(" (seed=")[0], seed=9)
+        assert again == plan
+
+    @pytest.mark.parametrize("spec", ["", "   ", "train", "train:1:2:3",
+                                      "nowhere:0.5", "train:2.0"])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+
+class TestFaultInjector:
+    def test_counts_invocations_per_site(self):
+        injector = FaultInjector(FaultPlan())
+        for _ in range(3):
+            injector.check("train")
+        injector.check("predict")
+        assert injector.invocations("train") == 3
+        assert injector.invocations("predict") == 1
+        assert injector.invocations("featurize") == 0
+
+    def test_firing_raises_and_records(self):
+        plan = FaultPlan(rules=(FaultRule("train", fail_first=1),))
+        injector = FaultInjector(plan)
+        before = METRICS.counter(metric_names.FAULTS_INJECTED).value
+        with pytest.raises(FaultInjected) as excinfo:
+            injector.check("train", algorithm="A14")
+        assert excinfo.value.site == "train"
+        assert excinfo.value.index == 0
+        injector.check("train")  # second invocation passes
+        assert len(injector.fired) == 1
+        assert injector.fired[0].detail == {"algorithm": "A14"}
+        assert METRICS.counter(metric_names.FAULTS_INJECTED).value == before + 1
+
+    @pytest.mark.parametrize("name,exc_cls", [
+        ("oserror", OSError),
+        ("valueerror", ValueError),
+        ("runtimeerror", RuntimeError),
+        ("badzipfile", zipfile.BadZipFile),
+    ])
+    def test_exception_name_selects_class(self, name, exc_cls):
+        plan = FaultPlan(
+            rules=(FaultRule("train", fail_first=1, exception=name),)
+        )
+        with pytest.raises(exc_cls, match="injected"):
+            FaultInjector(plan).check("train")
+
+    def test_reset_clears_counts_and_firings(self):
+        plan = FaultPlan(rules=(FaultRule("train", fail_first=1),))
+        injector = FaultInjector(plan)
+        with pytest.raises(FaultInjected):
+            injector.check("train")
+        injector.reset()
+        assert injector.invocations("train") == 0
+        assert injector.fired == []
+        with pytest.raises(FaultInjected):  # the prefix fires again
+            injector.check("train")
+
+    def test_two_injectors_same_plan_fire_identically(self):
+        plan = FaultPlan(seed=3, rules=(FaultRule("predict", rate=0.5),))
+        histories = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            fired = []
+            for i in range(50):
+                try:
+                    injector.check("predict")
+                    fired.append(False)
+                except FaultInjected:
+                    fired.append(True)
+            histories.append(fired)
+        assert histories[0] == histories[1]
+
+    def test_fault_injected_survives_copy(self):
+        import copy
+
+        exc = FaultInjected("train", 4)
+        clone = copy.deepcopy(exc)
+        assert clone.site == "train" and clone.index == 4
+
+
+class TestProcessHooks:
+    def test_maybe_inject_is_noop_when_inactive(self):
+        uninstall()
+        assert get_injector() is None
+        maybe_inject("train")  # must not raise
+
+    def test_install_uninstall(self):
+        injector = FaultInjector(
+            FaultPlan(rules=(FaultRule("train", fail_first=1),))
+        )
+        install(injector)
+        try:
+            assert get_injector() is injector
+            with pytest.raises(FaultInjected):
+                maybe_inject("train")
+        finally:
+            uninstall()
+        assert get_injector() is None
+        maybe_inject("train")
+
+    def test_active_context_manager(self):
+        plan = FaultPlan(rules=(FaultRule("predict", fail_first=1),))
+        with active(plan) as injector:
+            assert get_injector() is injector
+            with pytest.raises(FaultInjected):
+                maybe_inject("predict")
+        assert get_injector() is None
+
+    def test_active_uninstalls_on_error(self):
+        plan = FaultPlan(rules=(FaultRule("predict", fail_first=1),))
+        with pytest.raises(RuntimeError, match="boom"):
+            with active(plan):
+                raise RuntimeError("boom")
+        assert get_injector() is None
+
+    def test_unknown_site_never_fires_but_is_counted(self):
+        plan = FaultPlan(rules=(FaultRule("train", rate=1.0),))
+        with active(plan) as injector:
+            maybe_inject("featurize")
+            assert injector.invocations("featurize") == 1

@@ -231,6 +231,76 @@ class TestModuleState:
         assert found == []
 
 
+class TestExceptionSwallowing:
+    def src_violations_for(self, tmp_path, source):
+        src_dir = tmp_path / "src"
+        src_dir.mkdir(exist_ok=True)
+        path = src_dir / "module.py"
+        path.write_text(source)
+        return astlint.lint_file(path)
+
+    def test_bare_except_flagged(self, tmp_path):
+        found = self.src_violations_for(
+            tmp_path,
+            "try:\n    work()\nexcept:\n    handle()\n",
+        )
+        assert [v.code for v in found] == ["AL007"]
+        assert "bare" in found[0].message
+
+    def test_pass_only_exception_handler_flagged(self, tmp_path):
+        found = self.src_violations_for(
+            tmp_path,
+            "try:\n    work()\nexcept Exception:\n    pass\n",
+        )
+        assert [v.code for v in found] == ["AL007"]
+        assert "swallows" in found[0].message
+
+    def test_ellipsis_body_flagged(self, tmp_path):
+        found = self.src_violations_for(
+            tmp_path,
+            "try:\n    work()\nexcept BaseException:\n    ...\n",
+        )
+        assert [v.code for v in found] == ["AL007"]
+
+    def test_exception_in_tuple_flagged(self, tmp_path):
+        found = self.src_violations_for(
+            tmp_path,
+            "try:\n    work()\nexcept (ValueError, Exception):\n    pass\n",
+        )
+        assert [v.code for v in found] == ["AL007"]
+
+    def test_handler_that_records_ok(self, tmp_path):
+        found = self.src_violations_for(
+            tmp_path,
+            "try:\n    work()\nexcept Exception as exc:\n"
+            "    log(exc)\n    raise\n",
+        )
+        assert found == []
+
+    def test_specific_type_pass_ok(self, tmp_path):
+        # a pass-only handler for a *named* exception is a deliberate
+        # "this specific failure is fine" -- not AL007's target
+        found = self.src_violations_for(
+            tmp_path,
+            "try:\n    work()\nexcept KeyError:\n    pass\n",
+        )
+        assert found == []
+
+    def test_outside_src_ok(self, tmp_path):
+        found = violations_for(
+            tmp_path, "try:\n    work()\nexcept:\n    pass\n"
+        )
+        assert found == []
+
+    def test_waiver_respected(self, tmp_path):
+        found = self.src_violations_for(
+            tmp_path,
+            "try:\n    work()\n"
+            "except Exception:  # astlint: disable\n    pass\n",
+        )
+        assert found == []
+
+
 class TestGate:
     def test_fixtures_directories_skipped(self, tmp_path):
         fixture_dir = tmp_path / "fixtures"

@@ -182,6 +182,58 @@ class TestEvaluationCommands:
         assert "total:" in out
 
 
+class TestFaultTolerantMatrix:
+    def test_run_matrix_alias(self, tmp_path, capsys):
+        results = tmp_path / "results.json"
+        assert main(["run-matrix", "--algorithms", "A14",
+                     "--datasets", "F0", "--out", str(results)]) == 0
+        payload = json.loads(results.read_text())
+        assert isinstance(payload, list) and len(payload) == 1
+
+    def test_bad_fault_spec_exits_2(self, tmp_path, capsys):
+        assert main([
+            "run-matrix", "--algorithms", "A14", "--datasets", "F0",
+            "--faults", "nowhere:0.5", "--out", str(tmp_path / "r.json"),
+        ]) == 2
+        assert "unknown fault site" in capsys.readouterr().err
+
+    def test_chaos_then_resume_heals(self, tmp_path, capsys):
+        journal = tmp_path / "chaos.jsonl"
+        results = tmp_path / "results.json"
+        assert main([
+            "run-matrix", "--algorithms", "A14", "--datasets", "F0,F1",
+            "--keep-going", "--faults", "featurize:#1",
+            "--checkpoint", str(journal), "--out", str(results),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault injection active" in out
+        assert "3 evaluations, 1 failure(s)" in out
+        payload = json.loads(results.read_text())
+        assert len(payload["results"]) == 3
+        assert payload["failures"][0]["phase"] == "featurize"
+        assert payload["failures"][0]["error_type"] == "FaultInjected"
+
+        healed = tmp_path / "healed.json"
+        assert main([
+            "run-matrix", "--algorithms", "A14", "--datasets", "F0,F1",
+            "--keep-going", "--resume", str(journal), "--retry-failed",
+            "--out", str(healed),
+        ]) == 0
+        assert "4 evaluations ->" in capsys.readouterr().out
+        payload = json.loads(healed.read_text())
+        assert isinstance(payload, list) and len(payload) == 4
+
+    def test_retries_absorb_transient_fault(self, tmp_path, capsys):
+        results = tmp_path / "results.json"
+        assert main([
+            "run-matrix", "--algorithms", "A14", "--datasets", "F0,F1",
+            "--retries", "1", "--faults", "featurize:#1",
+            "--out", str(results),
+        ]) == 0
+        payload = json.loads(results.read_text())
+        assert isinstance(payload, list) and len(payload) == 4
+
+
 class TestTemplateCommands:
     def test_template_write_and_run(self, tmp_path, capsys):
         out_file = tmp_path / "t.json"

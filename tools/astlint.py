@@ -28,6 +28,12 @@ Rules:
   set literal bindings) in the engine-critical packages
   ``src/repro/core/`` and ``src/repro/analysis/``.  Name read-only
   tables ``UPPER_CASE``, or move the state into an object.
+* **AL007** -- exception swallowing in library code (any file under a
+  ``src`` directory): a bare ``except:`` handler, or an
+  ``except Exception:``/``except BaseException:`` handler whose body
+  is only ``pass``/``...``.  The fault-tolerance layer's contract is
+  that failures are *recorded or re-raised*, never silently dropped;
+  catch specific types, or do something with what you caught.
 
 AL005/AL006 reuse the effect analyzer
 (``src/repro/analysis/effects.py``) -- it is stdlib-only and loaded by
@@ -337,6 +343,45 @@ def _check_module_state(
         ))
 
 
+def _check_exception_swallowing(
+    tree: ast.AST, path: Path, out: list[Violation]
+) -> None:
+    """AL007: bare ``except:`` / pass-only ``except Exception:``."""
+    if "src" not in path.parts:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            out.append(Violation(
+                path, node.lineno, "AL007",
+                "bare 'except:' catches everything (including "
+                "KeyboardInterrupt) -- catch specific exception types",
+            ))
+            continue
+        caught = node.type.elts if isinstance(node.type, ast.Tuple) else [
+            node.type
+        ]
+        names = {_dotted(item) for item in caught}
+        if not names & {"Exception", "BaseException"}:
+            continue
+        body_swallows = all(
+            isinstance(statement, ast.Pass)
+            or (
+                isinstance(statement, ast.Expr)
+                and isinstance(statement.value, ast.Constant)
+                and statement.value.value is Ellipsis
+            )
+            for statement in node.body
+        )
+        if body_swallows:
+            out.append(Violation(
+                path, node.lineno, "AL007",
+                "'except Exception: pass' silently swallows failures "
+                "-- record the failure or re-raise",
+            ))
+
+
 def lint_file(path: Path) -> list[Violation]:
     source = path.read_text()
     try:
@@ -351,6 +396,7 @@ def lint_file(path: Path) -> list[Violation]:
     _check_wall_clock(tree, path, violations)
     _check_operation_effects(tree, path, violations)
     _check_module_state(tree, path, violations)
+    _check_exception_swallowing(tree, path, violations)
     disabled = {
         number
         for number, text in enumerate(source.splitlines(), start=1)
