@@ -30,6 +30,11 @@ from repro.analysis.diagnostics import (
     Diagnostic,
     Severity,
 )
+from repro.analysis.equivalence import (
+    CanonicalGraph,
+    CanonicalStep,
+    canonicalize,
+)
 from repro.analysis.faithfulness import pass_faithfulness
 from repro.analysis.graph import (
     StepNode,
@@ -38,6 +43,13 @@ from repro.analysis.graph import (
     graph_from_pipeline,
 )
 from repro.analysis.passes import pass_dataflow, pass_ordering, pass_parameters
+from repro.analysis.planner import (
+    ExecutionPlan,
+    PlanStage,
+    build_matrix_plan,
+    build_plan,
+    verify_plan,
+)
 from repro.analysis.safety import (
     EffectReport,
     audit_registry,
@@ -50,9 +62,13 @@ from repro.core.pipeline import Pipeline
 __all__ = [
     "CODES",
     "AnalysisResult",
+    "CanonicalGraph",
+    "CanonicalStep",
     "Diagnostic",
     "EffectReport",
+    "ExecutionPlan",
     "LintTarget",
+    "PlanStage",
     "Severity",
     "StepNode",
     "TemplateGraph",
@@ -60,10 +76,14 @@ __all__ = [
     "analyze_template",
     "audit_registry",
     "build_graph",
+    "build_matrix_plan",
+    "build_plan",
+    "canonicalize",
     "collect_targets",
     "graph_from_pipeline",
     "operation_report",
     "pass_effects",
+    "verify_plan",
 ]
 
 

@@ -52,6 +52,11 @@ CODES: dict[str, str] = {
     "L026": "operation performs file or process I/O",
     "L027": "operation source unavailable for effect analysis",
     "L028": "step uses an operation the engine cannot cache or parallelize",
+    "L029": "near-duplicate steps differing only by redundant params",
+    "L030": "dead template branch pruned by the shared-work planner",
+    "L031": "prefix shared structurally but unshareable (stateful closure)",
+    "L032": "semantic fingerprint collision",
+    "L033": "plan/template drift (plan no longer matches the catalog)",
 }
 
 

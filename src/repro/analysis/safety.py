@@ -102,17 +102,23 @@ class EffectReport:
         return tuple(sorted({d.code for d in self.diagnostics}))
 
     def to_dict(self) -> dict:
+        # Deterministic on purpose: the JSON audit is diffed in CI, so
+        # findings sort by (line, kind, detail) rather than AST-walk
+        # order and seed params are alphabetical.
         return {
             "operation": self.operation,
             "purity": self.purity,
             "cacheable": self.cacheable,
             "parallel_safe": self.parallel_safe,
-            "seed_params": list(self.seed_params),
+            "seed_params": sorted(self.seed_params),
             "codes": list(self.codes()),
-            "findings": [
-                {"kind": f.kind.value, "line": f.line, "detail": f.detail}
-                for f in self.findings
-            ],
+            "findings": sorted(
+                (
+                    {"kind": f.kind.value, "line": f.line, "detail": f.detail}
+                    for f in self.findings
+                ),
+                key=lambda f: (f["line"], f["kind"], f["detail"]),
+            ),
         }
 
 

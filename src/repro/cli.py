@@ -13,6 +13,9 @@ The operator-facing surface of the benchmarking suite:
 * ``validate`` -- the Section 5.2 validation table;
 * ``profile`` -- per-operation time/memory for one featurization;
 * ``synthesize`` -- the Section 5.4 greedy AM search;
+* ``plan`` -- build, lint, render or verify the shared-work execution
+  plan for the matrix (``--lint``/``--json``/``--dot``/``--strict``;
+  pure static analysis, nothing runs); ``matrix --plan`` executes it;
 * ``trace`` -- run any repro command and print its span tree (or
   render a saved ``.jsonl`` trace file);
 * ``metrics`` -- the process metrics registry, optionally after
@@ -88,6 +91,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
     from repro.bench import BenchmarkRunner
+    from repro.core.errors import TemplateDiagnosticError
 
     injector = None
     if args.faults:
@@ -107,15 +111,33 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     )
     algorithms = args.algorithms.split(",") if args.algorithms else None
     datasets = args.datasets.split(",") if args.datasets else None
+    execution_plan = None
+    if args.plan:
+        from repro.analysis.planner import ExecutionPlan, build_matrix_plan
+
+        try:
+            if args.plan == "auto":
+                execution_plan = build_matrix_plan(algorithms, datasets)
+            else:
+                execution_plan = ExecutionPlan.load(args.plan)
+            execution_plan.analysis().raise_if_errors()
+        except (OSError, ValueError, TemplateDiagnosticError) as exc:
+            print(f"error: bad execution plan: {exc}", file=sys.stderr)
+            return 2
     try:
-        runner.run_matrix(
-            algorithms,
-            datasets,
-            keep_going=args.keep_going,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
-            retry_failed=args.retry_failed,
-        )
+        try:
+            runner.run_matrix(
+                algorithms,
+                datasets,
+                plan=execution_plan,
+                keep_going=args.keep_going,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+                retry_failed=args.retry_failed,
+            )
+        except TemplateDiagnosticError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     finally:
         if injector is not None:
             from repro.faults import uninstall
@@ -303,7 +325,9 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
     reports = audit_registry()
     payload = {
-        "operations": [report.to_dict() for report in reports.values()],
+        "operations": [
+            reports[name].to_dict() for name in sorted(reports)
+        ],
         "summary": {
             "total": len(reports),
             "pure": sum(1 for r in reports.values() if r.purity == "pure"),
@@ -360,6 +384,59 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             f"{', '.join(unsafe)}",
             file=sys.stderr,
         )
+        return 1
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostics import Severity
+    from repro.analysis.planner import (
+        ExecutionPlan,
+        build_matrix_plan,
+        render_dot,
+        render_plan,
+        verify_plan,
+    )
+    from repro.core.errors import TemplateDiagnosticError
+
+    algorithms = args.algorithms.split(",") if args.algorithms else None
+    datasets = args.datasets.split(",") if args.datasets else None
+    try:
+        if args.verify:
+            plan = ExecutionPlan.load(args.verify)
+        else:
+            plan = build_matrix_plan(algorithms, datasets)
+    except (KeyError, OSError, ValueError, TemplateDiagnosticError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diagnostics = list(plan.diagnostics)
+    if args.verify:
+        diagnostics.extend(verify_plan(plan).diagnostics)
+
+    if args.out:
+        plan.save(args.out)
+        print(f"plan -> {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=2))
+    elif args.dot:
+        print(render_dot(plan))
+    else:
+        print(render_plan(plan))
+
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    warnings = [d for d in diagnostics if d.severity is Severity.WARNING]
+    if args.lint or errors:
+        for diagnostic in diagnostics:
+            print(f"  {diagnostic}", file=sys.stderr)
+        print(
+            f"plan lint: {len(errors)} error(s), {len(warnings)} "
+            f"warning(s)",
+            file=sys.stderr,
+        )
+    if errors:
+        return 1
+    if args.strict and args.lint and warnings:
+        print("strict: warnings are fatal", file=sys.stderr)
         return 1
     return 0
 
@@ -485,6 +562,11 @@ def build_parser() -> argparse.ArgumentParser:
                    "(see docs/ROBUSTNESS.md)")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for the fault plan's firing decisions")
+    p.add_argument("--plan", default=None, metavar="PATH",
+                   help="prime the featurization cache from a shared-work "
+                   "execution plan before running cells: a plan JSON "
+                   "saved by `repro plan --out`, or 'auto' to build one "
+                   "for the requested matrix in-process")
     _add_trace_flag(p)
     p.set_defaults(fn=_cmd_matrix)
 
@@ -574,6 +656,28 @@ def build_parser() -> argparse.ArgumentParser:
                    "concurrently (results may be corrupted)")
     _add_trace_flag(p)
     p.set_defaults(fn=_cmd_run_template)
+
+    p = sub.add_parser(
+        "plan",
+        help="build (or verify) the shared-work execution plan for the "
+        "evaluation matrix -- static analysis only, nothing runs")
+    p.add_argument("--algorithms", default=None,
+                   help="comma-separated ids (default: all)")
+    p.add_argument("--datasets", default=None)
+    p.add_argument("--lint", action="store_true",
+                   help="print planning diagnostics (L029-L033)")
+    p.add_argument("--strict", action="store_true",
+                   help="with --lint: treat warnings as fatal")
+    p.add_argument("--json", action="store_true",
+                   help="print the plan as JSON instead of a table")
+    p.add_argument("--dot", action="store_true",
+                   help="print the super-DAG as Graphviz dot")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="save the plan JSON to PATH")
+    p.add_argument("--verify", default=None, metavar="PATH",
+                   help="load a saved plan and check it against the "
+                   "current catalog (L033 drift) instead of building")
+    p.set_defaults(fn=_cmd_plan)
 
     p = sub.add_parser(
         "trace",

@@ -39,7 +39,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 from repro.core.errors import PipelineError
-from repro.core.pipeline import Pipeline, SOURCE_NAME
+from repro.core.pipeline import OperationCall, Pipeline, SOURCE_NAME
 from repro.core.profiling import OperationProfile, ProfileReport
 from repro.core.types import ValueType, check_type
 from repro.net.table import PacketTable
@@ -48,14 +48,25 @@ from repro.obs import metrics as metric_names
 
 
 def fingerprint_table(table: PacketTable) -> str:
-    """A content hash of a trace, used as the cache root key."""
+    """A content hash of a trace, used as the cache root key.
+
+    The hash covers each column's *schema* -- dtype and shape -- and
+    the table's column order, not just the raw bytes: two tables whose
+    columns happen to serialize to identical bytes but carry different
+    dtypes (``int32`` vs ``float32``) or a different column order are
+    different traces and must never share a cache lineage.
+    """
     digest = hashlib.sha1()
     hashed_bytes = 0
+    order = "|".join(table.columns).encode()
+    digest.update(order)
     for name in sorted(table.columns):
-        payload = table.columns[name].tobytes()
-        digest.update(name.encode())
+        column = table.columns[name]
+        payload = column.tobytes()
+        schema = f"{name}:{column.dtype.str}:{column.shape}".encode()
+        digest.update(schema)
         digest.update(payload)
-        hashed_bytes += len(name) + len(payload)
+        hashed_bytes += len(schema) + len(payload)
     attacks = "|".join(table.attacks).encode()
     digest.update(attacks)
     METRICS.counter(
@@ -363,6 +374,103 @@ class ExecutionEngine:
 
     # ------------------------------------------------------------------
 
+    def run_plan(
+        self,
+        plan,
+        source: PacketTable,
+        *,
+        source_token: str | None = None,
+        algorithms=None,
+    ) -> dict[str, dict[str, Any]]:
+        """Materialize an :class:`~repro.analysis.planner.ExecutionPlan`
+        against one source trace.
+
+        Every *shareable* stage executes exactly once, in the plan's
+        canonical topological order, through the ordinary step machinery
+        -- so each result lands in the shared cache under the exact key
+        a subsequent :meth:`run` of any consuming template would
+        compute, and the whole matrix fans out from one materialization
+        per (stage, dataset).  Stages the effect analyzer could not
+        prove pure or seeded are skipped (each consumer re-runs them
+        privately, same as the unplanned path).
+
+        Returns ``{algorithm: {output name: value}}`` for the requested
+        ``algorithms`` (default: all of the plan's), restricted to
+        outputs whose stage actually executed.
+        """
+        from repro.core.operations import OPERATIONS
+
+        wanted = list(algorithms) if algorithms is not None else list(
+            plan.algorithms
+        )
+        stages = plan.stages_for(wanted)
+        token = source_token or fingerprint_table(source)
+        env: dict[str, Any] = {SOURCE_NAME: source}
+        keys: dict[str, str] = {SOURCE_NAME: f"src:{token}"}
+        report = ProfileReport()
+        tracer = get_tracer()
+        executed = shared = 0
+        with tracer.span(
+            "plan",
+            source=token,
+            stages=len(stages),
+            algorithms=",".join(wanted),
+        ) as plan_span:
+            for position, stage in enumerate(stages):
+                if not stage.shareable:
+                    continue
+                if any(
+                    name != SOURCE_NAME and name not in env
+                    for name in stage.inputs
+                ):
+                    continue  # upstream stage was skipped as unshareable
+                operation = OPERATIONS.get(stage.func)
+                if operation is None:
+                    raise PipelineError(
+                        stage.func, position,
+                        KeyError(
+                            f"plan stage references unknown operation "
+                            f"{stage.func!r}; rebuild the plan"
+                        ),
+                    )
+                call = OperationCall(
+                    operation=operation,
+                    inputs=tuple(stage.inputs),
+                    output=stage.stage_id,
+                    params=dict(stage.params),
+                )
+                self._run_step(
+                    position, call, env, keys, report, plan_span,
+                    span_attrs={
+                        "plan_stage": stage.stage_id,
+                        "dedup_hits": stage.refcount - 1,
+                    },
+                )
+                executed += 1
+                METRICS.counter(
+                    metric_names.PLAN_STAGES_EXECUTED,
+                    "plan stages materialized by run_plan",
+                ).inc()
+                if stage.shared:
+                    shared += 1
+                    METRICS.counter(
+                        metric_names.PLAN_STAGES_SHARED,
+                        "plan stages shared by more than one consumer "
+                        "and materialized once",
+                    ).inc()
+            plan_span.set("executed", executed)
+            plan_span.set("shared", shared)
+        return {
+            algorithm: {
+                name: env[stage_id]
+                for name, stage_id in plan.outputs.get(algorithm, {}).items()
+                if stage_id in env
+            }
+            for algorithm in wanted
+        }
+
+    # ------------------------------------------------------------------
+
     def _key_material(self, call, keys: dict[str, str]) -> str:
         inputs = ",".join(keys[name] for name in call.inputs)
         raw = f"{call.name}({_params_token(call.params)})<-[{inputs}]"
@@ -382,7 +490,8 @@ class ExecutionEngine:
         return hashlib.sha1(self._key_material(call, keys).encode()).hexdigest()
 
     def _run_step(
-        self, index, call, env, keys, report, parent=None, serialized=False
+        self, index, call, env, keys, report, parent=None, serialized=False,
+        span_attrs=None,
     ) -> None:
         safety = _operation_report(call.operation)
         key = self._step_key(call, keys)
@@ -403,6 +512,8 @@ class ExecutionEngine:
             purity=safety.purity,
             thread=threading.current_thread().name,
         ) as span:
+            for attr, value in (span_attrs or {}).items():
+                span.set(attr, value)
             if serialized:
                 span.set("serialized", True)
             if (

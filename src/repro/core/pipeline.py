@@ -175,6 +175,23 @@ class Pipeline:
                 last_use[name] = index
         return last_use
 
+    def to_template(self) -> list[dict]:
+        """Render the pipeline back into the template language.
+
+        The round trip ``Pipeline.from_template(p.to_template())``
+        reproduces an equivalent pipeline (params carry their filled
+        defaults).  Used by the equivalence analyzer so hand-built
+        pipelines canonicalize exactly like templates loaded from JSON.
+        """
+        template: list[dict] = []
+        for call in self.calls:
+            step: dict = {"func": call.name}
+            step["input"] = list(call.inputs) or None
+            step["output"] = call.output
+            step.update(call.params)
+            template.append(step)
+        return template
+
     @property
     def output_name(self) -> str:
         """The final step's output (the pipeline's result by default)."""

@@ -42,6 +42,9 @@ EVALUATIONS_FAILED = "bench_evaluations_failed_total"
 EVALUATIONS_RETRIED = "bench_evaluations_retried_total"
 EVALUATIONS_RESUMED = "bench_evaluations_resumed_total"
 EVALUATION_TIMEOUTS = "bench_evaluation_timeouts_total"
+PLAN_STAGES_EXECUTED = "engine_plan_stages_executed_total"
+PLAN_STAGES_SHARED = "engine_plan_stages_shared_total"
+PLAN_DATASETS_PRIMED = "bench_plan_datasets_primed_total"
 CACHE_CORRUPT = "engine_cache_corrupt_total"
 CACHE_WRITE_ERRORS = "engine_cache_write_errors_total"
 FAULTS_INJECTED = "faults_injected_total"

@@ -1,0 +1,118 @@
+"""Acceptance tests for planned matrix execution.
+
+The tentpole claim: ``run_matrix(plan=...)`` materializes every
+proven-shared featurization prefix exactly once per dataset (observable
+via the plan metrics and ``plan_stage`` span attributes) and produces
+results identical to the unplanned path.
+"""
+
+import pytest
+
+from repro.analysis.planner import build_matrix_plan
+from repro.bench.runner import BenchmarkRunner
+from repro.core import ExecutionEngine
+from repro.core.errors import TemplateDiagnosticError
+from repro.obs import METRICS, RingBufferSink, get_tracer
+from repro.obs import metrics as metric_names
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    ExecutionEngine.shared_cache.clear()
+    yield
+    ExecutionEngine.shared_cache.clear()
+
+
+def _counter(name):
+    return METRICS.counter(name).value
+
+
+def _record_fields(store):
+    return sorted(
+        (
+            r.algorithm, r.train_dataset, r.test_dataset, r.mode,
+            r.precision, r.recall, r.f1, r.accuracy, r.n_train, r.n_test,
+        )
+        for r in store.results
+    )
+
+
+class TestPlannedMatrix:
+    def test_shared_prefixes_once_per_dataset_and_equal_results(self):
+        plan = build_matrix_plan(["A13", "A14"], ["F0", "F1"])
+        n_stages = len(plan.stages)
+        n_shared = len(plan.shared_stages)
+        assert n_shared == 3  # Groupby + Labels + AttackIds
+
+        sink = RingBufferSink(capacity=None)
+        tracer = get_tracer()
+        tracer.add_sink(sink)
+        before_executed = _counter(metric_names.PLAN_STAGES_EXECUTED)
+        before_shared = _counter(metric_names.PLAN_STAGES_SHARED)
+        before_primed = _counter(metric_names.PLAN_DATASETS_PRIMED)
+        runner = BenchmarkRunner()
+        try:
+            planned = runner.run_matrix(
+                ["A13", "A14"], ["F0", "F1"], plan=plan
+            )
+        finally:
+            tracer.remove_sink(sink)
+        assert len(planned.results) == 8 and not planned.failures
+
+        # every plan stage materialized exactly once per dataset
+        assert (
+            _counter(metric_names.PLAN_STAGES_EXECUTED) - before_executed
+            == n_stages * 2
+        )
+        assert (
+            _counter(metric_names.PLAN_STAGES_SHARED) - before_shared
+            == n_shared * 2
+        )
+        assert (
+            _counter(metric_names.PLAN_DATASETS_PRIMED) - before_primed == 2
+        )
+
+        # the shared Groupby prefix computed exactly once per dataset,
+        # inside the plan span, fresh (not cache-served), and advertises
+        # how many consumers it deduplicated
+        groupby = [
+            e for e in sink.events()
+            if e["kind"] == "span"
+            and e["name"] == "step:Groupby"
+            and e["attrs"].get("plan_stage")
+        ]
+        assert len(groupby) == 2
+        for span in groupby:
+            assert span["attrs"]["dedup_hits"] == 1
+            assert not span["attrs"].get("cached")
+        # ...and no cell ever re-executed it: every later Groupby step
+        # span in the planned run is a cache hit
+        cell_groupby = [
+            e for e in sink.events()
+            if e["kind"] == "span"
+            and e["name"] == "step:Groupby"
+            and not e["attrs"].get("plan_stage")
+        ]
+        assert cell_groupby, "cells must still request the prefix"
+        assert all(e["attrs"].get("cached") for e in cell_groupby)
+
+        # identical results from a cold, unplanned run
+        ExecutionEngine.shared_cache.clear()
+        unplanned = BenchmarkRunner().run_matrix(["A13", "A14"], ["F0", "F1"])
+        assert _record_fields(planned) == _record_fields(unplanned)
+
+    def test_stale_plan_refused_before_any_cell(self):
+        plan = build_matrix_plan(["A13"], ["F0"])
+        plan.template_fingerprints["A13"] = "0" * 64
+        runner = BenchmarkRunner()
+        with pytest.raises(TemplateDiagnosticError):
+            runner.run_matrix(["A13"], ["F0"], plan=plan)
+        assert len(runner.store.results) == 0
+
+    def test_plan_restricted_to_requested_subset(self):
+        plan = build_matrix_plan(["A13", "A14"], ["F0", "F1"])
+        before = _counter(metric_names.PLAN_DATASETS_PRIMED)
+        runner = BenchmarkRunner()
+        store = runner.run_matrix(["A13"], ["F0"], plan=plan)
+        assert _counter(metric_names.PLAN_DATASETS_PRIMED) - before == 1
+        assert len(store.results) == 1  # same-dataset cell only

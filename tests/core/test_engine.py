@@ -156,6 +156,25 @@ class TestCaching:
         mutated = small_trace.select(np.arange(len(small_trace) - 1))
         assert fingerprint_table(mutated) != a
 
+    def test_fingerprint_covers_dtype(self):
+        # identical bytes, different schema: int32 zeros and float32
+        # zeros serialize to the same buffer but are different traces
+        from repro.net.table import PacketTable
+
+        ints = PacketTable(columns={"a": np.zeros(8, dtype=np.int32)})
+        floats = PacketTable(columns={"a": np.zeros(8, dtype=np.float32)})
+        assert ints.columns["a"].tobytes() == floats.columns["a"].tobytes()
+        assert fingerprint_table(ints) != fingerprint_table(floats)
+
+    def test_fingerprint_covers_column_order(self):
+        from repro.net.table import PacketTable
+
+        a = np.arange(4, dtype=np.int64)
+        b = np.arange(4, dtype=np.int64)
+        ab = PacketTable(columns={"a": a, "b": b})
+        ba = PacketTable(columns={"b": b, "a": a})
+        assert fingerprint_table(ab) != fingerprint_table(ba)
+
     def test_cache_bounded(self, small_trace):
         cache = ExecutionEngine.shared_cache
         cache.max_entries = 4

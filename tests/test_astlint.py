@@ -301,6 +301,51 @@ class TestExceptionSwallowing:
         assert found == []
 
 
+class TestBuiltinHash:
+    def src_violations_for(self, tmp_path, source):
+        src_dir = tmp_path / "src"
+        src_dir.mkdir(exist_ok=True)
+        path = src_dir / "module.py"
+        path.write_text(source)
+        return astlint.lint_file(path)
+
+    def test_builtin_hash_flagged(self, tmp_path):
+        found = self.src_violations_for(
+            tmp_path, "def key(params):\n    return hash(str(params))\n"
+        )
+        assert [v.code for v in found] == ["AL008"]
+        assert "PYTHONHASHSEED" in found[0].message
+
+    def test_hashlib_ok(self, tmp_path):
+        found = self.src_violations_for(
+            tmp_path,
+            "import hashlib\n"
+            "def key(params):\n"
+            "    return hashlib.sha256(str(params).encode()).hexdigest()\n",
+        )
+        assert found == []
+
+    def test_method_named_hash_ok(self, tmp_path):
+        found = self.src_violations_for(
+            tmp_path, "def key(obj):\n    return obj.hash()\n"
+        )
+        assert found == []
+
+    def test_outside_src_ok(self, tmp_path):
+        found = violations_for(
+            tmp_path, "def key(params):\n    return hash(str(params))\n"
+        )
+        assert found == []
+
+    def test_waiver_respected(self, tmp_path):
+        found = self.src_violations_for(
+            tmp_path,
+            "def key(p):\n"
+            "    return hash(p)  # astlint: disable\n",
+        )
+        assert found == []
+
+
 class TestGate:
     def test_fixtures_directories_skipped(self, tmp_path):
         fixture_dir = tmp_path / "fixtures"

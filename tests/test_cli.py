@@ -123,6 +123,22 @@ class TestAuditCommand:
         assert downsample["seed_params"] == ["seed"]
         assert downsample["cacheable"] is True
 
+    def test_audit_json_is_deterministic(self, capsys):
+        assert main(["audit", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [entry["operation"] for entry in payload["operations"]]
+        assert names == sorted(names)
+        for entry in payload["operations"]:
+            assert entry["seed_params"] == sorted(entry["seed_params"])
+            keys = [
+                (f["line"], f["kind"], f["detail"])
+                for f in entry["findings"]
+            ]
+            assert keys == sorted(keys)
+        capsys.readouterr()
+        assert main(["audit", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == payload
+
     def test_audit_out_file(self, tmp_path, capsys):
         out_file = tmp_path / "audit.json"
         assert main(["audit", "--out", str(out_file)]) == 0
@@ -255,6 +271,69 @@ class TestTemplateCommands:
                      "--parallel", "2"]) == 0
         out = capsys.readouterr().out
         assert "metrics" in out
+
+
+class TestPlanCommand:
+    def test_plan_table(self, capsys):
+        assert main(["plan", "--algorithms", "A13,A14",
+                     "--datasets", "F0,F1"]) == 0
+        out = capsys.readouterr().out
+        assert "Groupby" in out
+        assert "shared stage(s)" in out
+
+    def test_plan_lint_clean(self, capsys):
+        assert main(["plan", "--algorithms", "A13,A14",
+                     "--datasets", "F0", "--lint", "--strict"]) == 0
+        err = capsys.readouterr().err
+        assert "0 error(s)" in err
+
+    def test_plan_json_save_and_verify(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        assert main(["plan", "--algorithms", "A13,A14",
+                     "--datasets", "F0,F1", "--json",
+                     "--out", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithms"] == ["A13", "A14"]
+        assert payload["stages"]
+        assert json.loads(path.read_text()) == payload
+        assert main(["plan", "--verify", str(path)]) == 0
+
+    def test_plan_verify_drift_fails(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        main(["plan", "--algorithms", "A13", "--datasets", "F0",
+              "--out", str(path)])
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        payload["template_fingerprints"]["A13"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        assert main(["plan", "--verify", str(path)]) == 1
+        assert "L033" in capsys.readouterr().err
+
+    def test_plan_dot(self, capsys):
+        assert main(["plan", "--algorithms", "A13",
+                     "--datasets", "F0", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_plan_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["plan", "--verify", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_matrix_with_auto_plan(self, tmp_path, capsys):
+        results = tmp_path / "results.json"
+        assert main(["matrix", "--algorithms", "A13,A14",
+                     "--datasets", "F0", "--plan", "auto",
+                     "--out", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "2 evaluations" in out
+        assert len(json.loads(results.read_text())) == 2
+
+    def test_matrix_with_bad_plan_file_exits_2(self, tmp_path, capsys):
+        assert main(["matrix", "--algorithms", "A13",
+                     "--datasets", "F0",
+                     "--plan", str(tmp_path / "nope.json"),
+                     "--out", str(tmp_path / "r.json")]) == 2
+        assert "bad execution plan" in capsys.readouterr().err
 
 
 class TestObservabilityCommands:

@@ -34,6 +34,12 @@ Rules:
   is only ``pass``/``...``.  The fault-tolerance layer's contract is
   that failures are *recorded or re-raised*, never silently dropped;
   catch specific types, or do something with what you caught.
+* **AL008** -- builtin ``hash()`` in library code (any file under a
+  ``src`` directory): ``hash()`` is salted per process
+  (``PYTHONHASHSEED``) and truncates to machine width, so any
+  fingerprint, cache key or dedup decision built on it silently
+  changes between runs.  Use ``hashlib`` (the engine and the
+  equivalence analyzer both use sha-family digests).
 
 AL005/AL006 reuse the effect analyzer
 (``src/repro/analysis/effects.py``) -- it is stdlib-only and loaded by
@@ -382,6 +388,24 @@ def _check_exception_swallowing(
             ))
 
 
+def _check_builtin_hash(
+    tree: ast.AST, path: Path, out: list[Violation]
+) -> None:
+    """AL008: builtin ``hash()`` has no place in library fingerprints."""
+    if "src" not in path.parts:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            out.append(Violation(
+                path, node.lineno, "AL008",
+                "builtin hash() is per-process salted "
+                "(PYTHONHASHSEED) -- derive fingerprints and cache "
+                "keys from hashlib digests",
+            ))
+
+
 def lint_file(path: Path) -> list[Violation]:
     source = path.read_text()
     try:
@@ -397,6 +421,7 @@ def lint_file(path: Path) -> list[Violation]:
     _check_operation_effects(tree, path, violations)
     _check_module_state(tree, path, violations)
     _check_exception_swallowing(tree, path, violations)
+    _check_builtin_hash(tree, path, violations)
     disabled = {
         number
         for number, text in enumerate(source.splitlines(), start=1)
