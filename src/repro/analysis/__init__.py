@@ -57,6 +57,13 @@ from repro.analysis.safety import (
     pass_effects,
 )
 from repro.analysis.sources import LintTarget, collect_targets
+from repro.analysis.vectorize import (
+    VectorReport,
+    audit_vectorization,
+    operation_vector_report,
+    pass_vectorize,
+    verdict_fingerprints,
+)
 from repro.core.pipeline import Pipeline
 
 __all__ = [
@@ -72,9 +79,11 @@ __all__ = [
     "Severity",
     "StepNode",
     "TemplateGraph",
+    "VectorReport",
     "analyze_pipeline",
     "analyze_template",
     "audit_registry",
+    "audit_vectorization",
     "build_graph",
     "build_matrix_plan",
     "build_plan",
@@ -82,7 +91,10 @@ __all__ = [
     "collect_targets",
     "graph_from_pipeline",
     "operation_report",
+    "operation_vector_report",
     "pass_effects",
+    "pass_vectorize",
+    "verdict_fingerprints",
     "verify_plan",
 ]
 
@@ -98,6 +110,7 @@ def _run_passes(
     pass_dataflow(graph, diagnostics, outputs)
     pass_ordering(graph, diagnostics)
     pass_effects(graph, diagnostics)
+    pass_vectorize(graph, diagnostics)
     if dataset_id is not None:
         pass_faithfulness(graph, diagnostics, dataset_id)
     return AnalysisResult(diagnostics)

@@ -57,6 +57,13 @@ CODES: dict[str, str] = {
     "L031": "prefix shared structurally but unshareable (stateful closure)",
     "L032": "semantic fingerprint collision",
     "L033": "plan/template drift (plan no longer matches the catalog)",
+    "L034": "loop-carried dependence in an operation declared batchable",
+    "L035": "shape mismatch across a template edge",
+    "L036": "dtype widening or object-array fallback on a hot path",
+    "L037": "hidden Python-level per-row loop in a featurizer",
+    "L038": "row-order-sensitive operation without a declared sort key",
+    "L039": "unvectorizable prefix blocking a shareable plan stage",
+    "L040": "vectorization verdict/declaration drift",
 }
 
 

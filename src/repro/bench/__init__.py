@@ -30,6 +30,7 @@ from repro.bench.analysis import (
 from repro.bench.validation import validation_report
 from repro.bench.report import generate_report
 from repro.bench.diffing import diff_stores, render_diff
+from repro.bench.perf import run_perf_benchmark
 from repro.bench.relevance import feature_relevance, top_features
 from repro.bench.ablation import measure_rewrite_damage
 
@@ -56,4 +57,5 @@ __all__ = [
     "feature_relevance",
     "top_features",
     "measure_rewrite_damage",
+    "run_perf_benchmark",
 ]

@@ -1,0 +1,223 @@
+"""The performance baseline: packets/sec, cells/hour, scalar vs batch.
+
+``repro bench-perf`` runs this and writes ``BENCH_perf.json`` so every
+PR from here on has a throughput trajectory to move.  Three views:
+
+* **converted ops** -- each operation with an analyzer-approved
+  ``batch=`` implementation, timed scalar vs batched on a real
+  dataset-sized workload, with the byte-equality contract re-checked
+  on the exact arrays being timed;
+* **featurize** -- an end-to-end feature template through the engine
+  with vectorized execution off and on, in packets/sec (the paper's
+  unit of ingest pressure);
+* **cells** -- one full benchmark cell (featurize + train + predict +
+  score), extrapolated to cells/hour (the unit the evaluation matrix
+  is paid in).
+
+Timings take the best of ``repeat`` runs: the minimum is the right
+estimator for throughput under a noisy scheduler.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.engine import ExecutionEngine
+from repro.core.operations import OPERATIONS
+from repro.core.pipeline import Pipeline
+from repro.datasets.registry import load_dataset, load_flows
+from repro.flows import Granularity
+
+__all__ = ["run_perf_benchmark", "PERF_DATASET"]
+
+PERF_DATASET = "F0"
+
+#: per-op benchmark params; ops absent here use registration defaults
+_OP_PARAMS: dict[str, dict] = {
+    "NprintEncode": {
+        "layers": ["ipv4", "tcp", "udp", "icmp", "payload"],
+        "payload_bytes": 8,
+    },
+}
+
+_FEATURIZE_TEMPLATE = [
+    {"func": "SortByTime", "input": None, "output": "sorted"},
+    {"func": "NprintEncode", "input": ["sorted"], "output": "X_bits",
+     "layers": ["ipv4", "tcp", "udp", "icmp", "payload"],
+     "payload_bytes": 8},
+    {"func": "ProtocolOneHot", "input": ["sorted"], "output": "X_proto"},
+    {"func": "ConcatFeatures", "input": ["X_bits", "X_proto"],
+     "output": "X"},
+    {"func": "Labels", "input": ["sorted"], "output": "y"},
+]
+
+
+def _best_of(fn: Callable[[], Any], repeat: int) -> tuple[float, Any]:
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _attach_payloads(table, payload_bytes: int):
+    """Deterministic synthetic payload bytes sized off each packet.
+
+    Works on a copy: ``load_dataset`` memoizes its tables, and payloads
+    attached to the shared instance would leak into every later caller.
+    """
+    table = table.select(np.arange(len(table)))
+    rng = np.random.default_rng(20260808)
+    sizes = np.minimum(table.payload_len, payload_bytes).astype(np.int64)
+    blob = rng.integers(0, 256, size=int(sizes.sum()), dtype=np.uint8)
+    payloads = []
+    offset = 0
+    for size in sizes:
+        payloads.append(bytes(blob[offset : offset + size]))
+        offset += size
+    table.payloads = payloads
+    return table
+
+
+def _device_map(table, devices: int = 256) -> dict:
+    """A deployment-sized device inventory: every source IP in the
+    trace plus filler entries up to ``devices`` (the scalar path pays
+    one full-column scan per inventory entry whether it matches or
+    not, so inventory size is the honest workload parameter)."""
+    sources = [int(ip) for ip in np.unique(table.src_ip)[:devices]]
+    filler = 0xC0A80000  # 192.168.0.0/16 inventory entries
+    while len(sources) < devices:
+        filler += 1
+        if filler not in sources:
+            sources.append(filler)
+    return {str(ip): i % 7 for i, ip in enumerate(sorted(sources))}
+
+
+def _converted_op_section(table, flows, repeat: int) -> dict:
+    from repro.analysis.vectorize import operation_vector_report
+
+    section: dict[str, dict] = {}
+    total_scalar = 0.0
+    total_batch = 0.0
+    for name in sorted(OPERATIONS):
+        operation = OPERATIONS[name]
+        if operation.batch is None:
+            continue
+        report = operation_vector_report(operation)
+        params = dict(_OP_PARAMS.get(name, {}))
+        if "device_map" in operation.required_params:
+            params["device_map"] = _device_map(table)
+        params = operation.validate_params(params)
+        value = (
+            flows
+            if operation.input_types
+            and operation.input_types[0].name == "FLOWS"
+            else table
+        )
+        inputs = [value]
+        rows = len(value)
+        scalar_s, scalar_out = _best_of(
+            lambda: operation.fn(inputs, params), repeat
+        )
+        batch_s, batch_out = _best_of(
+            lambda: operation.batch(inputs, params), repeat
+        )
+        byte_equal = (
+            scalar_out.shape == batch_out.shape
+            and scalar_out.dtype == batch_out.dtype
+            and scalar_out.tobytes() == batch_out.tobytes()
+        )
+        total_scalar += scalar_s
+        total_batch += batch_s
+        section[name] = {
+            "verdict": report.verdict,
+            "rows": rows,
+            "scalar_seconds": scalar_s,
+            "batch_seconds": batch_s,
+            "scalar_rows_per_sec": rows / scalar_s if scalar_s else None,
+            "batch_rows_per_sec": rows / batch_s if batch_s else None,
+            "speedup": scalar_s / batch_s if batch_s else None,
+            "byte_equal": byte_equal,
+        }
+    return {
+        "ops": section,
+        "total_scalar_seconds": total_scalar,
+        "total_batch_seconds": total_batch,
+        "speedup": total_scalar / total_batch if total_batch else None,
+    }
+
+
+def _featurize_section(table, repeat: int) -> dict:
+    pipeline = Pipeline.from_template(_FEATURIZE_TEMPLATE)
+    packets = len(table)
+
+    def run(vectorize: bool):
+        engine = ExecutionEngine(
+            use_cache=False, track_memory=False, vectorize=vectorize
+        )
+        return engine.run(pipeline, table, outputs=["X", "y"])
+
+    scalar_s, _ = _best_of(lambda: run(False), repeat)
+    vector_s, _ = _best_of(lambda: run(True), repeat)
+    return {
+        "template_steps": len(_FEATURIZE_TEMPLATE),
+        "packets": packets,
+        "scalar_seconds": scalar_s,
+        "vectorized_seconds": vector_s,
+        "scalar_packets_per_sec": packets / scalar_s if scalar_s else None,
+        "vectorized_packets_per_sec": (
+            packets / vector_s if vector_s else None
+        ),
+        "speedup": scalar_s / vector_s if vector_s else None,
+    }
+
+
+def _cells_section(algorithm_id: str, dataset_id: str) -> dict:
+    from repro.bench.runner import BenchmarkRunner
+
+    runner = BenchmarkRunner()
+    started = time.perf_counter()
+    runner.evaluate(algorithm_id, dataset_id, dataset_id)
+    seconds = time.perf_counter() - started
+    return {
+        "algorithm": algorithm_id,
+        "dataset": dataset_id,
+        "seconds_per_cell": seconds,
+        "cells_per_hour": 3600.0 / seconds if seconds else None,
+    }
+
+
+def run_perf_benchmark(
+    *,
+    repeat: int = 3,
+    dataset_id: str = PERF_DATASET,
+    cells_algorithm: str | None = "A14",
+    payload_bytes: int = 8,
+) -> dict:
+    """Measure the baseline and return the ``BENCH_perf.json`` payload.
+
+    Pass ``cells_algorithm=None`` to skip the (slowest) cells/hour
+    measurement, e.g. in quick CI smokes.
+    """
+    table = _attach_payloads(load_dataset(dataset_id), payload_bytes)
+    flows = load_flows(dataset_id, Granularity.CONNECTION)
+    payload: dict[str, Any] = {
+        "benchmark": "perf-baseline",
+        "workload": {
+            "dataset": dataset_id,
+            "packets": len(table),
+            "flows": len(flows),
+            "payload_bytes": payload_bytes,
+            "repeat": repeat,
+        },
+        "converted_ops": _converted_op_section(table, flows, repeat),
+        "featurize": _featurize_section(table, repeat),
+    }
+    if cells_algorithm is not None:
+        payload["cells"] = _cells_section(cells_algorithm, dataset_id)
+    return payload

@@ -388,6 +388,126 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_vectorize(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.analysis.vectorize import (
+        audit_vectorization,
+        verdict_fingerprints,
+    )
+
+    payload = audit_vectorization()
+    if args.catalog:
+        from repro.algorithms import ALGORITHMS, build_algorithm
+
+        catalog = {}
+        for algorithm_id in sorted(ALGORITHMS):
+            spec = build_algorithm(algorithm_id)
+            fingerprints = verdict_fingerprints(
+                spec.full_template(), outputs=["metrics"]
+            )
+            catalog[algorithm_id] = {
+                fingerprint: fingerprints[fingerprint]
+                for fingerprint in sorted(fingerprints)
+            }
+        payload["catalog"] = catalog
+    if args.out:
+        with open(args.out, "w") as handle:
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        header = (
+            f"{'operation':<22} {'verdict':<20} {'batch':<6} "
+            f"{'sort_key':<9} codes"
+        )
+        print(header)
+        print("-" * len(header))
+        for op in payload["operations"]:
+            batch = "-"
+            if op["batch"]:
+                batch = "yes" if op["batchable"] else "DRIFT"
+            codes = ",".join(
+                sorted({d.split()[0] for d in op["diagnostics"]})
+            )
+            print(
+                f"{op['operation']:<22} {op['verdict']:<20} {batch:<6} "
+                f"{op['sort_key'] or '-':<9} {codes or '-'}"
+            )
+            if args.verbose:
+                for finding in op["findings"]:
+                    print(
+                        f"    line {finding['line']}: {finding['kind']} "
+                        f"-- {finding['detail']}"
+                    )
+        summary = payload["summary"]
+        print(
+            f"{summary['total']} operation(s): "
+            f"{summary['elementwise']} elementwise, "
+            f"{summary['row_parallel']} row-parallel, "
+            f"{summary['sequential']} sequential, "
+            f"{summary['opaque']} opaque; "
+            f"{summary['batchable']} batchable"
+        )
+    if args.strict:
+        problems = []
+        if payload["summary"]["errors"]:
+            problems.append(
+                f"{payload['summary']['errors']} verdict-drift error(s)"
+            )
+        if payload["summary"]["opaque"]:
+            problems.append(
+                f"{payload['summary']['opaque']} opaque verdict(s)"
+            )
+        if problems:
+            print(f"strict: {'; '.join(problems)}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_bench_perf(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.bench.perf import run_perf_benchmark
+
+    payload = run_perf_benchmark(
+        repeat=args.repeat,
+        cells_algorithm=None if args.no_cells else "A14",
+    )
+    with open(args.out, "w") as handle:
+        json_module.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        converted = payload["converted_ops"]
+        featurize = payload["featurize"]
+        print(f"workload: {payload['workload']}")
+        for name, row in converted["ops"].items():
+            print(
+                f"{name:<16} {row['rows']:>7} rows  "
+                f"scalar {row['scalar_rows_per_sec']:>12.0f}/s  "
+                f"batch {row['batch_rows_per_sec']:>12.0f}/s  "
+                f"speedup {row['speedup']:.2f}x  "
+                f"byte_equal={row['byte_equal']}"
+            )
+        print(f"converted-op aggregate speedup: {converted['speedup']:.2f}x")
+        print(
+            f"featurize: {featurize['scalar_packets_per_sec']:.0f} pkt/s "
+            f"scalar -> {featurize['vectorized_packets_per_sec']:.0f} "
+            f"pkt/s vectorized ({featurize['speedup']:.2f}x)"
+        )
+        if "cells" in payload:
+            print(
+                f"cells: {payload['cells']['seconds_per_cell']:.2f} "
+                f"s/cell = {payload['cells']['cells_per_hour']:.0f} "
+                "cells/hour"
+            )
+    print(f"baseline written to {args.out}")
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.analysis.diagnostics import Severity
     from repro.analysis.planner import (
@@ -643,6 +763,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="show per-finding detail under each operation")
     p.set_defaults(fn=_cmd_audit)
+
+    p = sub.add_parser(
+        "vectorize",
+        help="vectorization-safety audit of every registered operation")
+    p.add_argument("--json", action="store_true",
+                   help="print the audit as JSON (for CI)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the JSON audit to a file")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 on verdict drift (L034/L040) or any "
+                   "opaque verdict")
+    p.add_argument("--catalog", action="store_true",
+                   help="also attach verdicts to the semantic "
+                   "fingerprints of every catalog algorithm's template")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="show per-finding detail under each operation")
+    p.set_defaults(fn=_cmd_vectorize)
+
+    p = sub.add_parser(
+        "bench-perf",
+        help="measure the throughput baseline (packets/sec, cells/hour,"
+        " scalar vs batch) and write BENCH_perf.json")
+    p.add_argument("--out", default="BENCH_perf.json", metavar="PATH",
+                   help="where to write the baseline (default: "
+                   "BENCH_perf.json)")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="timing repetitions; the best run counts")
+    p.add_argument("--json", action="store_true",
+                   help="also print the payload to stdout")
+    p.add_argument("--no-cells", action="store_true",
+                   help="skip the cells/hour measurement (quick smoke)")
+    p.set_defaults(fn=_cmd_bench_perf)
 
     p = sub.add_parser("run-template",
                        help="validate and run a template file")

@@ -18,7 +18,7 @@ memory optimisation (dead-value elimination).
 * :mod:`repro.core.profiling` -- per-operation time/memory profiles.
 """
 
-from repro.core.types import ValueType
+from repro.core.types import TypeInfo, ValueType, infer_type_info
 from repro.core.errors import (
     PipelineError,
     TemplateDiagnosticError,
@@ -26,7 +26,12 @@ from repro.core.errors import (
 )
 from repro.core.pipeline import Pipeline, OperationCall
 from repro.core.engine import ExecutionEngine
-from repro.core.operations import OPERATIONS, Operation, register_operation
+from repro.core.operations import (
+    OPERATIONS,
+    Operation,
+    register_batch,
+    register_operation,
+)
 from repro.core.profiling import OperationProfile, ProfileReport
 from repro.core.template_io import (
     STARTER_TEMPLATES,
@@ -37,7 +42,9 @@ from repro.core.template_io import (
 )
 
 __all__ = [
+    "TypeInfo",
     "ValueType",
+    "infer_type_info",
     "PipelineError",
     "TemplateDiagnosticError",
     "TemplateError",
@@ -46,6 +53,7 @@ __all__ = [
     "ExecutionEngine",
     "OPERATIONS",
     "Operation",
+    "register_batch",
     "register_operation",
     "OperationProfile",
     "ProfileReport",

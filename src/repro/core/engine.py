@@ -41,7 +41,7 @@ from typing import Any
 from repro.core.errors import PipelineError
 from repro.core.pipeline import OperationCall, Pipeline, SOURCE_NAME
 from repro.core.profiling import OperationProfile, ProfileReport
-from repro.core.types import ValueType, check_type
+from repro.core.types import ValueType, check_type, infer_type_info
 from repro.net.table import PacketTable
 from repro.obs import METRICS, get_tracer
 from repro.obs import metrics as metric_names
@@ -86,6 +86,26 @@ def _operation_report(operation):
     from repro.analysis.safety import operation_report
 
     return operation_report(operation)
+
+
+def _vector_refusal(operation, inputs):
+    """Why the batch path must not run for this step, or ``None``.
+
+    The static verdict (analyzer-proven elementwise/row-parallel with
+    no declaration drift) gates first; a runtime dtype check then
+    refuses object-dtype inputs the AST could not see, mirroring how
+    purity verdicts gate the cache.
+    """
+    from repro.analysis.vectorize import operation_vector_report
+
+    report = operation_vector_report(operation)
+    if report.refusal is not None:
+        return report.refusal
+    for value in inputs:
+        info = infer_type_info(value)
+        if info.dtype == "object":
+            return "object-dtype-input"
+    return None
 
 
 class _ResultCache:
@@ -295,11 +315,16 @@ class ExecutionEngine:
         max_workers: int = 4,
         track_memory: bool = True,
         unsafe_parallel: bool = False,
+        vectorize: bool = True,
     ) -> None:
         self.use_cache = use_cache
         self.parallel = parallel
         self.max_workers = max_workers
         self.track_memory = track_memory
+        # batched execution stays verdict-gated even when enabled: the
+        # engine only swaps in an op's batch= body when the analyzer
+        # proves it elementwise/row-parallel (see _vector_refusal)
+        self.vectorize = vectorize
         # escape hatch: run even stateful-flagged ops concurrently.
         # Caching stays gated -- a corrupted value in the shared cache
         # would outlive the run that opted into the risk.
@@ -543,11 +568,29 @@ class ExecutionEngine:
             inputs = [env[name] for name in call.inputs]
             for value, expected in zip(inputs, call.operation.input_types):
                 check_type(value, expected, f"operation {call.name!r}")
+            fn = call.operation.fn
+            if self.vectorize and call.operation.batch is not None:
+                refusal = _vector_refusal(call.operation, inputs)
+                if refusal is None:
+                    fn = call.operation.batch
+                    span.set("vectorized", True)
+                    METRICS.counter(
+                        metric_names.VECTORIZED_STEPS,
+                        "steps executed via the analyzer-approved"
+                        " batch path",
+                    ).inc()
+                else:
+                    span.set("vector_refused", refusal)
+                    METRICS.counter(
+                        metric_names.VECTOR_REFUSALS,
+                        "batch-declaring steps refused vectorized"
+                        " execution",
+                    ).inc()
             if self.track_memory:
                 tracemalloc.start()
             started = time.perf_counter()
             try:
-                result = call.operation.fn(inputs, call.params)
+                result = fn(inputs, call.params)
             except Exception as exc:
                 if self.track_memory:
                     tracemalloc.stop()

@@ -16,6 +16,7 @@ Operations are looked up by name from templates (see
 from __future__ import annotations
 
 import copy
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -76,6 +77,13 @@ class Operation:
     required_params: tuple[str, ...] = ()
     optional_params: dict[str, Any] = field(default_factory=dict)
     description: str = ""
+    #: optional batched implementation with the same (inputs, params)
+    #: signature; the engine selects it only when the vectorization
+    #: analyzer proves the op elementwise/row-parallel (L034/L040 gate)
+    batch: OpFn | None = None
+    #: the column whose ordering the op's output depends on, when the
+    #: implementation is row-order sensitive (L038 gate)
+    sort_key: str | None = None
 
     def validate_params(self, params: dict) -> dict:
         """Check required params are present and fill defaults."""
@@ -113,6 +121,7 @@ def register_operation(
     required_params: tuple[str, ...] = (),
     optional_params: dict[str, Any] | None = None,
     description: str = "",
+    sort_key: str | None = None,
 ) -> Callable[[OpFn], OpFn]:
     """Decorator registering a function as a framework operation."""
 
@@ -127,7 +136,34 @@ def register_operation(
             required_params=required_params,
             optional_params=dict(optional_params or {}),
             description=description or (fn.__doc__ or "").strip(),
+            sort_key=sort_key,
         )
+        return fn
+
+    return wrap
+
+
+def register_batch(name: str) -> Callable[[OpFn], OpFn]:
+    """Decorator attaching a ``batch=`` implementation to an operation.
+
+    The batched body must take the same ``(inputs, params)`` arguments
+    and produce byte-identical output; the engine only selects it when
+    the vectorization analyzer proves the operation elementwise or
+    row-parallel (anything else is an L040 drift error).
+    """
+
+    def wrap(fn: OpFn) -> OpFn:
+        operation = OPERATIONS.get(name)
+        if operation is None:
+            raise ValueError(
+                f"cannot attach batch implementation: operation "
+                f"{name!r} is not registered"
+            )
+        if operation.batch is not None:
+            raise ValueError(
+                f"operation {name!r} already has a batch implementation"
+            )
+        OPERATIONS[name] = dataclasses.replace(operation, batch=fn)
         return fn
 
     return wrap
@@ -274,6 +310,7 @@ def _groupby(inputs: list, params: dict) -> FlowTable:
     required_params=("window",),
     description="Subdivide each flow into fixed windows of `window` "
     "seconds (flow features then describe per-window behaviour).",
+    sort_key="ts",
 )
 def _time_slice(inputs: list, params: dict) -> FlowTable:
     flows: FlowTable = inputs[0]
@@ -373,6 +410,19 @@ def _protocol_one_hot(inputs: list, params: dict) -> np.ndarray:
     return out.astype(np.float64)
 
 
+@register_batch("ProtocolOneHot")
+def _protocol_one_hot_batch(inputs: list, params: dict) -> np.ndarray:
+    # the comparisons write straight into the output columns, skipping
+    # the scalar path's zeros memset and trailing astype copy
+    table: PacketTable = inputs[0]
+    out = np.empty((len(table), 4))
+    np.equal(table.proto, 6, out=out[:, 0], casting="unsafe")
+    np.equal(table.proto, 17, out=out[:, 1], casting="unsafe")
+    np.equal(table.proto, 1, out=out[:, 2], casting="unsafe")
+    np.equal(table.l3, 0, out=out[:, 3], casting="unsafe")
+    return out
+
+
 @register_operation(
     "WlanFeatures",
     (ValueType.PACKETS,),
@@ -397,6 +447,27 @@ def _wlan_features(inputs: list, params: dict) -> np.ndarray:
     )
 
 
+@register_batch("WlanFeatures")
+def _wlan_features_batch(inputs: list, params: dict) -> np.ndarray:
+    # scatter the one-hots only at WLAN rows instead of 19 full-column
+    # comparisons; on mostly-wired traffic nearly all rows stay zero
+    table: PacketTable = inputs[0]
+    n = len(table)
+    out = np.zeros((n, 22))
+    wlan = table.l2 == 105
+    out[:, 0] = wlan
+    idx = np.flatnonzero(wlan)
+    types = table.wlan_type[idx].astype(np.int64)
+    ok = types < 3
+    out[idx[ok], 1 + types[ok]] = 1.0
+    subtypes = table.wlan_subtype[idx].astype(np.int64)
+    ok = subtypes < 16
+    out[idx[ok], 4 + subtypes[ok]] = 1.0
+    out[:, 20] = table.dst_mac == 0xFFFFFFFFFFFF
+    out[:, 21] = table.length
+    return out
+
+
 def _tcp_flag_bit(name: str) -> int:
     try:
         return int(TCPFlags[name.upper()])
@@ -405,6 +476,43 @@ def _tcp_flag_bit(name: str) -> int:
 
 
 _NPRINT_LAYERS = ("ipv4", "tcp", "udp", "icmp", "payload")
+
+
+def _nprint_bits(values: np.ndarray, width: int) -> np.ndarray:
+    integers = values.astype(np.uint64)[:, None]
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)[None, :]
+    return ((integers >> shifts) & np.uint64(1)).astype(np.float64)
+
+
+def _nprint_header_blocks(table: PacketTable, layers: list) -> list:
+    """The header-layer bit blocks shared by both NprintEncode paths."""
+    blocks: list[np.ndarray] = []
+    if "ipv4" in layers:
+        present = (table.l3 == 4).astype(np.float64)[:, None]
+        blocks.append(present)
+        blocks.append(_nprint_bits(table.src_ip, 32) * present)
+        blocks.append(_nprint_bits(table.dst_ip, 32) * present)
+        blocks.append(_nprint_bits(table.ttl, 8) * present)
+        blocks.append(_nprint_bits(table.proto, 8) * present)
+        blocks.append(_nprint_bits(table.length, 16) * present)
+    if "tcp" in layers:
+        present = (table.proto == 6).astype(np.float64)[:, None]
+        blocks.append(present)
+        blocks.append(_nprint_bits(table.src_port, 16) * present)
+        blocks.append(_nprint_bits(table.dst_port, 16) * present)
+        blocks.append(_nprint_bits(table.tcp_flags, 8) * present)
+        blocks.append(_nprint_bits(table.window, 16) * present)
+    if "udp" in layers:
+        present = (table.proto == 17).astype(np.float64)[:, None]
+        blocks.append(present)
+        blocks.append(_nprint_bits(table.src_port, 16) * present)
+        blocks.append(_nprint_bits(table.dst_port, 16) * present)
+        blocks.append(_nprint_bits(table.payload_len, 16) * present)
+    if "icmp" in layers:
+        present = (table.proto == 1).astype(np.float64)[:, None]
+        blocks.append(present)
+        blocks.append(_nprint_bits(table.payload_len, 16) * present)
+    return blocks
 
 
 @register_operation(
@@ -423,41 +531,10 @@ def _nprint_encode(inputs: list, params: dict) -> np.ndarray:
     if unknown:
         raise TemplateError(f"unknown nprint layers: {sorted(unknown)}")
     n = len(table)
-    blocks: list[np.ndarray] = []
-
-    def bits(values: np.ndarray, width: int) -> np.ndarray:
-        integers = values.astype(np.uint64)[:, None]
-        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)[None, :]
-        return ((integers >> shifts) & np.uint64(1)).astype(np.float64)
-
-    if "ipv4" in layers:
-        present = (table.l3 == 4).astype(np.float64)[:, None]
-        blocks.append(present)
-        blocks.append(bits(table.src_ip, 32) * present)
-        blocks.append(bits(table.dst_ip, 32) * present)
-        blocks.append(bits(table.ttl, 8) * present)
-        blocks.append(bits(table.proto, 8) * present)
-        blocks.append(bits(table.length, 16) * present)
-    if "tcp" in layers:
-        present = (table.proto == 6).astype(np.float64)[:, None]
-        blocks.append(present)
-        blocks.append(bits(table.src_port, 16) * present)
-        blocks.append(bits(table.dst_port, 16) * present)
-        blocks.append(bits(table.tcp_flags, 8) * present)
-        blocks.append(bits(table.window, 16) * present)
-    if "udp" in layers:
-        present = (table.proto == 17).astype(np.float64)[:, None]
-        blocks.append(present)
-        blocks.append(bits(table.src_port, 16) * present)
-        blocks.append(bits(table.dst_port, 16) * present)
-        blocks.append(bits(table.payload_len, 16) * present)
-    if "icmp" in layers:
-        present = (table.proto == 1).astype(np.float64)[:, None]
-        blocks.append(present)
-        blocks.append(bits(table.payload_len, 16) * present)
+    blocks = _nprint_header_blocks(table, layers)
     if "payload" in layers:
         width = int(params["payload_bytes"]) * 8
-        blocks.append(bits(np.minimum(table.payload_len, 2**16 - 1), 16))
+        blocks.append(_nprint_bits(np.minimum(table.payload_len, 2**16 - 1), 16))
         # Without retained payload bytes the table exposes length-derived
         # pseudo-content; with payloads kept, hash the first bytes in.
         if table.payloads is not None:
@@ -469,7 +546,31 @@ def _nprint_encode(inputs: list, params: dict) -> np.ndarray:
                         content[i, j * 8 + b] = (byte >> (7 - b)) & 1
             blocks.append(content)
         else:
-            blocks.append(bits(table.payload_len % 251, width))
+            blocks.append(_nprint_bits(table.payload_len % 251, width))
+    return np.hstack(blocks) if blocks else np.empty((n, 0))
+
+
+@register_batch("NprintEncode")
+def _nprint_encode_batch(inputs: list, params: dict) -> np.ndarray:
+    # the scalar path unpacks retained payload bytes bit by bit in
+    # Python; here one unpackbits call emits the same MSB-first matrix
+    table: PacketTable = inputs[0]
+    layers = params["layers"]
+    if table.payloads is None or "payload" not in layers:
+        return _nprint_encode(inputs, params)
+    unknown = set(layers) - set(_NPRINT_LAYERS)
+    if unknown:
+        raise TemplateError(f"unknown nprint layers: {sorted(unknown)}")
+    n = len(table)
+    blocks = _nprint_header_blocks(table, layers)
+    width = int(params["payload_bytes"]) * 8
+    blocks.append(_nprint_bits(np.minimum(table.payload_len, 2**16 - 1), 16))
+    w = width // 8
+    raw = b"".join(
+        bytes(payload[:w]).ljust(w, b"\x00") for payload in table.payloads
+    )
+    packed = np.frombuffer(raw, dtype=np.uint8).reshape(n, w)
+    blocks.append(np.unpackbits(packed, axis=1).astype(np.float64))
     return np.hstack(blocks) if blocks else np.empty((n, 0))
 
 
@@ -480,6 +581,7 @@ def _nprint_encode(inputs: list, params: dict) -> np.ndarray:
     optional_params={"lambdas": [1.0, 0.1, 0.01]},
     description="Kitsune damped incremental statistics per packet "
     "(source/channel/socket groupings x decay rates).",
+    sort_key="ts",
 )
 def _kitsune_features(inputs: list, params: dict) -> np.ndarray:
     from repro.core.incstats import kitsune_packet_features
@@ -535,6 +637,7 @@ Each spec is a string:
     ValueType.FEATURES,
     required_params=("list",),
     description=_AGGREGATE_DOC,
+    sort_key="ts",
 )
 def _apply_aggregates(inputs: list, params: dict) -> np.ndarray:
     flows: FlowTable = inputs[0]
@@ -610,6 +713,7 @@ def _apply_aggregates(inputs: list, params: dict) -> np.ndarray:
     optional_params={"n": 8, "include_iat": True, "include_direction": True},
     description="Per-flow vector of the first N packet sizes (and "
     "optionally inter-arrivals and directions), zero-padded.",
+    sort_key="ts",
 )
 def _first_n_packets(inputs: list, params: dict) -> np.ndarray:
     flows: FlowTable = inputs[0]
@@ -634,6 +738,35 @@ def _first_n_packets(inputs: list, params: dict) -> np.ndarray:
         out_blocks.append(iats)
     if params["include_direction"]:
         out_blocks.append(directions)
+    return np.hstack(out_blocks)
+
+
+@register_batch("FirstNPackets")
+def _first_n_packets_batch(inputs: list, params: dict) -> np.ndarray:
+    # one (n_flows, n) gather per block replaces the per-flow Python
+    # loop; masked positions clamp to 0 and are zeroed afterwards
+    flows: FlowTable = inputs[0]
+    n = int(params["n"])
+    if n <= 0:
+        raise TemplateError("n must be positive")
+    lengths = flows.segment("length").astype(np.float64)
+    ts = flows.segment("ts")
+    cols = np.arange(n)
+    counts = np.minimum(flows.counts, n)
+    mask = cols[None, :] < counts[:, None]
+    pos = np.where(mask, flows.starts[:, None] + cols[None, :], 0)
+    out_blocks = [np.where(mask, lengths[pos], 0.0)]
+    if params["include_iat"]:
+        gathered = ts[pos]
+        iats = np.zeros((len(flows), n))
+        iats[:, 1:] = np.where(
+            mask[:, 1:], gathered[:, 1:] - gathered[:, :-1], 0.0
+        )
+        out_blocks.append(iats)
+    if params["include_direction"]:
+        out_blocks.append(
+            np.where(mask, flows.forward[pos] * 2.0 - 1.0, 0.0)
+        )
     return np.hstack(out_blocks)
 
 
@@ -690,6 +823,7 @@ def _zeek_conn_log(inputs: list, params: dict) -> np.ndarray:
     ValueType.FEATURES,
     description="Moore-Zuev style per-flow discriminator battery "
     "(size/timing/flag statistics in both directions).",
+    sort_key="ts",
 )
 def _flow_discriminators(inputs: list, params: dict) -> np.ndarray:
     flows: FlowTable = inputs[0]
@@ -1101,6 +1235,29 @@ def _device_labels(inputs: list, params: dict) -> np.ndarray:
     out = np.full(len(ips), -1, dtype=np.int64)
     for ip, class_id in mapping.items():
         out[ips == ip] = class_id
+    return out
+
+
+@register_batch("DeviceLabels")
+def _device_labels_batch(inputs: list, params: dict) -> np.ndarray:
+    # one searchsorted against the sorted key set replaces a full-column
+    # equality scan per mapped device
+    source = inputs[0]
+    mapping = {int(k): int(v) for k, v in params["device_map"].items()}
+    if isinstance(source, PacketTable):
+        ips = source.src_ip
+    elif isinstance(source, FlowTable):
+        ips = source.key_columns["src_ip"]
+    else:
+        raise TemplateError("DeviceLabels expects packets or flows")
+    out = np.full(len(ips), -1, dtype=np.int64)
+    if mapping:
+        keys = np.array(sorted(mapping), dtype=np.int64)
+        values = np.array([mapping[k] for k in sorted(mapping)], dtype=np.int64)
+        ips64 = ips.astype(np.int64)
+        pos = np.minimum(np.searchsorted(keys, ips64), len(keys) - 1)
+        hit = keys[pos] == ips64
+        out[hit] = values[pos[hit]]
     return out
 
 

@@ -12,6 +12,7 @@ work happens.
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -32,33 +33,62 @@ class ValueType(enum.Enum):
     ANY = "any"  # escape hatch for custom operations
 
 
-def infer_type(value: object) -> ValueType:
-    """Best-effort runtime type tag used by the engine's checks."""
+@dataclass(frozen=True)
+class TypeInfo:
+    """A runtime type tag plus the shape/dtype facts behind it.
+
+    ``kind`` is the coarse :class:`ValueType`; the remaining fields
+    carry what the vectorization analyzer (L035/L036) needs to check
+    real facts: row count for any row-structured value, column count
+    for feature matrices, and the numpy dtype string for array-backed
+    values.  Fields are ``None`` when the fact does not apply.
+    """
+
+    kind: ValueType
+    rows: int | None = None
+    columns: int | None = None
+    dtype: str | None = None
+
+
+def infer_type_info(value: object) -> TypeInfo:
+    """Best-effort runtime type info: kind plus shape/dtype metadata."""
     if isinstance(value, PacketTable):
-        return ValueType.PACKETS
+        return TypeInfo(ValueType.PACKETS, rows=len(value))
     if isinstance(value, FlowTable):
-        return ValueType.FLOWS
+        return TypeInfo(ValueType.FLOWS, rows=len(value))
     if isinstance(value, np.ndarray):
+        dtype = str(value.dtype)
         if value.ndim == 2:
-            return ValueType.FEATURES
+            return TypeInfo(
+                ValueType.FEATURES,
+                rows=value.shape[0],
+                columns=value.shape[1],
+                dtype=dtype,
+            )
         if value.ndim == 1 and (
             np.issubdtype(value.dtype, np.integer)
             or value.dtype == np.bool_
         ):
-            return ValueType.LABELS
+            return TypeInfo(ValueType.LABELS, rows=len(value), dtype=dtype)
         # a 1-D float array is a feature *vector*, not labels; 0-D and
         # >2-D arrays fit no pipeline type either
-        return ValueType.ANY
+        rows = len(value) if value.ndim == 1 else None
+        return TypeInfo(ValueType.ANY, rows=rows, dtype=dtype)
     if isinstance(value, dict):
         if all(
             isinstance(key, str) and isinstance(val, (int, float, np.integer, np.floating))
             for key, val in value.items()
         ):
-            return ValueType.METRICS
-        return ValueType.ANY
+            return TypeInfo(ValueType.METRICS)
+        return TypeInfo(ValueType.ANY)
     if hasattr(value, "fit") or hasattr(value, "predict"):
-        return ValueType.MODEL
-    return ValueType.ANY
+        return TypeInfo(ValueType.MODEL)
+    return TypeInfo(ValueType.ANY)
+
+
+def infer_type(value: object) -> ValueType:
+    """Best-effort runtime type tag used by the engine's checks."""
+    return infer_type_info(value).kind
 
 
 def check_type(value: object, expected: ValueType, where: str) -> None:

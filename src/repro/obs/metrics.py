@@ -48,6 +48,8 @@ PLAN_DATASETS_PRIMED = "bench_plan_datasets_primed_total"
 CACHE_CORRUPT = "engine_cache_corrupt_total"
 CACHE_WRITE_ERRORS = "engine_cache_write_errors_total"
 FAULTS_INJECTED = "faults_injected_total"
+VECTORIZED_STEPS = "engine_vectorized_steps_total"
+VECTOR_REFUSALS = "engine_vector_refusals_total"
 
 
 class Counter:

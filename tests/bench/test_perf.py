@@ -1,0 +1,51 @@
+"""Tests for the performance baseline (repro.bench.perf).
+
+One quick pass (``repeat=1``, no cells measurement) checks the payload
+shape, the byte-equality contract on the timed arrays, and that the
+batched paths are not slower in aggregate -- the committed
+``BENCH_perf.json`` numbers come from the full CLI run.
+"""
+
+from repro.bench.perf import run_perf_benchmark
+
+
+class TestPerfBenchmark:
+    payload = None
+
+    @classmethod
+    def setup_class(cls):
+        cls.payload = run_perf_benchmark(repeat=1, cells_algorithm=None)
+
+    def test_workload_section(self):
+        workload = self.payload["workload"]
+        assert workload["dataset"] == "F0"
+        assert workload["packets"] > 0
+        assert workload["flows"] > 0
+
+    def test_converted_ops_cover_every_batch_declaration(self):
+        from repro.core.operations import OPERATIONS
+
+        declared = {
+            name for name, op in OPERATIONS.items()
+            if op.batch is not None
+        }
+        assert set(self.payload["converted_ops"]["ops"]) == declared
+
+    def test_timed_arrays_stay_byte_equal(self):
+        for name, row in self.payload["converted_ops"]["ops"].items():
+            assert row["byte_equal"] is True, name
+
+    def test_aggregate_speedup_present(self):
+        converted = self.payload["converted_ops"]
+        assert converted["total_scalar_seconds"] > 0
+        assert converted["total_batch_seconds"] > 0
+        assert converted["speedup"] > 0
+
+    def test_featurize_section(self):
+        featurize = self.payload["featurize"]
+        assert featurize["packets"] == self.payload["workload"]["packets"]
+        assert featurize["scalar_packets_per_sec"] > 0
+        assert featurize["vectorized_packets_per_sec"] > 0
+
+    def test_cells_section_skipped_when_disabled(self):
+        assert "cells" not in self.payload

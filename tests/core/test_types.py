@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core.profiling import OperationProfile, ProfileReport
-from repro.core.types import ValueType, check_type, infer_type
+from repro.core.types import (
+    TypeInfo,
+    ValueType,
+    check_type,
+    infer_type,
+    infer_type_info,
+)
 from repro.flows import assemble_connections
 from repro.ml import GaussianNB
 from repro.net.table import PacketTable
@@ -44,6 +50,43 @@ class TestInferType:
 
     def test_any(self):
         assert infer_type("a string") is ValueType.ANY
+
+
+class TestInferTypeInfo:
+    def test_packets_carry_row_count(self):
+        info = infer_type_info(PacketTable.empty(5))
+        assert info == TypeInfo(ValueType.PACKETS, rows=5)
+
+    def test_flows_carry_row_count(self):
+        flows = assemble_connections(PacketTable.empty(0))
+        info = infer_type_info(flows)
+        assert info.kind is ValueType.FLOWS
+        assert info.rows == len(flows)
+
+    def test_matrix_carries_shape_and_dtype(self):
+        info = infer_type_info(np.zeros((7, 3)))
+        assert info == TypeInfo(
+            ValueType.FEATURES, rows=7, columns=3, dtype="float64"
+        )
+
+    def test_labels_carry_dtype(self):
+        info = infer_type_info(np.zeros(4, dtype=np.int64))
+        assert info == TypeInfo(ValueType.LABELS, rows=4, dtype="int64")
+
+    def test_object_matrix_is_visible_to_the_vector_gate(self):
+        # the engine refuses batched execution on dtype == "object"
+        info = infer_type_info(np.empty((2, 2), dtype=object))
+        assert info.kind is ValueType.FEATURES
+        assert info.dtype == "object"
+
+    def test_scalars_have_no_shape_facts(self):
+        info = infer_type_info({"precision": 1.0})
+        assert info == TypeInfo(ValueType.METRICS)
+        assert infer_type_info("x") == TypeInfo(ValueType.ANY)
+
+    def test_infer_type_is_the_kind_projection(self):
+        value = np.zeros((2, 2))
+        assert infer_type(value) is infer_type_info(value).kind
 
 
 class TestCheckType:

@@ -346,6 +346,93 @@ class TestBuiltinHash:
         assert found == []
 
 
+class TestRowLoopGate:
+    HEADER = (
+        "import numpy as np\n"
+        "from repro.core.operations import register_batch,"
+        " register_operation\n"
+        "from repro.core.types import ValueType\n"
+    )
+    DECORATOR = (
+        "@register_operation('X', (ValueType.PACKETS,), ValueType.FEATURES)\n"
+    )
+    LOOPY_BODY = (
+        "def _x(inputs, params) -> np.ndarray:\n"
+        "    out = np.zeros((len(inputs[0]), 1))\n"
+        "    for i, size in enumerate(inputs[0].length):\n"
+        "        out[i, 0] = float(size)\n"
+        "    return out\n"
+    )
+
+    def test_row_loop_in_batchable_op_flagged(self, tmp_path):
+        found = violations_for(
+            tmp_path, self.HEADER + self.DECORATOR + self.LOOPY_BODY
+        )
+        assert [v.code for v in found] == ["AL009"]
+        assert "elementwise" in found[0].message
+        assert "register_batch" in found[0].message
+
+    def test_batch_declaration_exempts_the_scalar_body(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            self.HEADER + self.DECORATOR + self.LOOPY_BODY
+            + "@register_batch('X')\n"
+            "def _x_batch(inputs, params) -> np.ndarray:\n"
+            "    return inputs[0].length.astype(np.float64)"
+            ".reshape(-1, 1)\n",
+        )
+        assert found == []
+
+    def test_row_loop_in_batch_body_flagged(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            self.HEADER + self.DECORATOR
+            + "def _x(inputs, params) -> np.ndarray:\n"
+            "    return inputs[0].length.astype(np.float64)"
+            ".reshape(-1, 1)\n"
+            "@register_batch('X')\n"
+            + self.LOOPY_BODY.replace("def _x", "def _x_batch"),
+        )
+        assert [v.code for v in found] == ["AL009"]
+        assert "batch implementation" in found[0].message
+
+    def test_sequential_op_may_loop(self, tmp_path):
+        # a loop-carried accumulator makes the op windowed-sequential:
+        # there is nothing to vectorize, so AL009 stays quiet
+        found = violations_for(
+            tmp_path,
+            self.HEADER + self.DECORATOR
+            + "def _x(inputs, params) -> np.ndarray:\n"
+            "    total = 0.0\n"
+            "    out = np.zeros((len(inputs[0]), 1))\n"
+            "    for i, size in enumerate(inputs[0].length):\n"
+            "        total += float(size)\n"
+            "        out[i, 0] = total\n"
+            "    return out\n",
+        )
+        assert found == []
+
+    def test_loop_over_params_ok(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            self.HEADER + self.DECORATOR
+            + "def _x(inputs, params) -> np.ndarray:\n"
+            "    cols = []\n"
+            "    for field in params['fields']:\n"
+            "        cols.append(getattr(inputs[0], field))\n"
+            "    return np.stack(cols, axis=1).astype(np.float64)\n",
+        )
+        assert found == []
+
+    def test_pragma_disables_line(self, tmp_path):
+        source = self.HEADER + self.DECORATOR + self.LOOPY_BODY.replace(
+            "for i, size in enumerate(inputs[0].length):",
+            "for i, size in enumerate(inputs[0].length):"
+            "  # astlint: disable",
+        )
+        assert violations_for(tmp_path, source) == []
+
+
 class TestGate:
     def test_fixtures_directories_skipped(self, tmp_path):
         fixture_dir = tmp_path / "fixtures"

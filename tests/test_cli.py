@@ -169,6 +169,82 @@ class TestAuditCommand:
             OPERATIONS.pop("AuditFixture", None)
 
 
+class TestVectorizeCommand:
+    def test_table_lists_every_operation(self, capsys):
+        from repro.core.operations import OPERATIONS
+
+        assert main(["vectorize"]) == 0
+        out = capsys.readouterr().out
+        for name in OPERATIONS:
+            assert name in out
+        assert "elementwise" in out
+        assert "windowed-sequential" in out
+
+    def test_json_payload(self, capsys):
+        assert main(["vectorize", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        summary = payload["summary"]
+        assert summary["opaque"] == 0
+        assert summary["errors"] == 0
+        assert summary["batchable"] == 5
+        by_name = {
+            entry["operation"]: entry for entry in payload["operations"]
+        }
+        assert by_name["ProtocolOneHot"]["batchable"] is True
+        assert by_name["SortByTime"]["verdict"] == "windowed-sequential"
+
+    def test_json_is_byte_deterministic(self, capsys):
+        assert main(["vectorize", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["vectorize", "--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "vectorize.json"
+        assert main(["vectorize", "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["summary"]["total"] == len(payload["operations"])
+
+    def test_catalog_attaches_fingerprint_verdicts(self, capsys):
+        assert main(["vectorize", "--json", "--catalog"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "A14" in payload["catalog"]
+        for fingerprints in payload["catalog"].values():
+            for entry in fingerprints.values():
+                assert set(entry) == {"func", "verdict"}
+
+    def test_strict_clean_registry_passes(self, capsys):
+        assert main(["vectorize", "--strict"]) == 0
+
+    def test_strict_fails_on_verdict_drift(self, capsys):
+        import numpy as np
+
+        from repro.core.operations import (
+            OPERATIONS,
+            register_batch,
+            register_operation,
+        )
+        from repro.core.types import ValueType
+
+        def _drifted(inputs, params):
+            order = np.argsort(inputs[0].ts)
+            return inputs[0].length[order].astype(
+                np.float64
+            ).reshape(-1, 1)
+
+        register_operation(
+            "VectorizeFixture", (ValueType.PACKETS,), ValueType.FEATURES
+        )(_drifted)
+        register_batch("VectorizeFixture")(_drifted)
+        try:
+            assert main(["vectorize", "--strict"]) == 1
+            captured = capsys.readouterr()
+            assert "verdict-drift" in captured.err
+            assert "DRIFT" in captured.out
+        finally:
+            OPERATIONS.pop("VectorizeFixture", None)
+
+
 class TestEvaluationCommands:
     def test_evaluate_same_dataset(self, capsys):
         assert main(["evaluate", "A14", "F0"]) == 0

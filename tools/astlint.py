@@ -40,11 +40,19 @@ Rules:
   fingerprint, cache key or dedup decision built on it silently
   changes between runs.  Use ``hashlib`` (the engine and the
   equivalence analyzer both use sha-family digests).
+* **AL009** -- a ``for ... in packets``-style Python row loop inside a
+  ``@register_operation`` function whose analyzer verdict is
+  elementwise/row-parallel and that declares no ``register_batch``
+  implementation in the same module (rows are provably independent:
+  declare a ``batch=`` numpy body so the engine can vectorize), or a
+  Python row loop inside a ``@register_batch`` body itself (the batch
+  path exists to *be* the vectorized one).
 
 AL005/AL006 reuse the effect analyzer
-(``src/repro/analysis/effects.py``) -- it is stdlib-only and loaded by
-file path, so this gate still imports nothing from the repo (and no
-numpy).
+(``src/repro/analysis/effects.py``) and AL009 the vectorization
+analyzer (``src/repro/analysis/vectorize.py``) -- both are stdlib-only
+and loaded by file path, so this gate still imports nothing from the
+repo (and no numpy).
 
 Paths whose components include ``fixtures`` are skipped, as is any
 line carrying an ``# astlint: disable`` comment.
@@ -87,6 +95,37 @@ def _load_effects():
 
 
 _effects = _load_effects()
+
+
+def _load_vectorize():
+    """Load the vectorization analyzer by file path.
+
+    Must run after :func:`_load_effects`: ``vectorize.py`` falls back
+    to ``from _astlint_effects import ...`` when loaded standalone,
+    which resolves through the module registered there.
+    """
+    if _effects is None:
+        return None
+    path = (
+        Path(__file__).resolve().parent.parent
+        / "src" / "repro" / "analysis" / "vectorize.py"
+    )
+    if not path.exists():
+        return None
+    spec = importlib.util.spec_from_file_location("_astlint_vectorize", path)
+    if spec is None or spec.loader is None:
+        return None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception:
+        sys.modules.pop(spec.name, None)
+        return None
+    return module
+
+
+_vectorize = _load_vectorize()
 
 #: np.random attributes that use the unseeded process-global RNG
 _LEGACY_NP_RANDOM = {
@@ -406,6 +445,104 @@ def _check_builtin_hash(
             ))
 
 
+def _decorator_call(node: ast.FunctionDef, name: str) -> ast.Call | None:
+    for decorator in node.decorator_list:
+        if (
+            isinstance(decorator, ast.Call)
+            and _dotted(decorator.func) == name
+        ):
+            return decorator
+    return None
+
+
+def _value_kinds(node: ast.AST | None) -> list[str] | None:
+    """Lowercased ValueType kind strings from a decorator argument."""
+    if node is None:
+        return None
+    items = node.elts if isinstance(node, (ast.Tuple, ast.List)) else [node]
+    kinds: list[str] = []
+    for item in items:
+        dotted = _dotted(item)
+        if not dotted or not dotted.startswith("ValueType."):
+            return None
+        kinds.append(dotted.split(".", 1)[1].lower())
+    return kinds
+
+
+def _check_row_loops(tree: ast.AST, path: Path, out: list[Violation]) -> None:
+    """AL009: Python row loops where the analyzer proves independence."""
+    if _vectorize is None:
+        return
+    batch_ops: dict[str, ast.FunctionDef] = {}
+    scalar_ops: list[tuple[ast.FunctionDef, str, list[str], str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        batch = _decorator_call(node, "register_batch")
+        if (
+            batch is not None
+            and batch.args
+            and isinstance(batch.args[0], ast.Constant)
+            and isinstance(batch.args[0].value, str)
+        ):
+            batch_ops[batch.args[0].value] = node
+        reg = _decorator_call(node, "register_operation")
+        if reg is None:
+            continue
+        name = (
+            reg.args[0].value
+            if reg.args and isinstance(reg.args[0], ast.Constant)
+            else node.name
+        )
+        if len(reg.args) >= 2:
+            inputs_node: ast.AST | None = reg.args[1]
+        else:
+            inputs_node = next(
+                (
+                    kw.value
+                    for kw in reg.keywords
+                    if kw.arg == "input_types"
+                ),
+                None,
+            )
+        input_kinds = _value_kinds(inputs_node)
+        declared, _ = _decorator_output_type(reg)
+        if input_kinds is None or declared is None:
+            continue
+        scalar_ops.append((node, str(name), input_kinds, declared.lower()))
+
+    for node, name, input_kinds, output_kind in scalar_ops:
+        findings = _vectorize.analyze_rows(node)
+        verdict = _vectorize.classify(findings, input_kinds, output_kind)
+        if verdict not in _vectorize.BATCHABLE_VERDICTS:
+            continue
+        if name in batch_ops:
+            continue
+        for finding in findings:
+            if finding.kind is _vectorize.RowKind.ROW_LOOP:
+                out.append(Violation(
+                    path, finding.line, "AL009",
+                    f"{node.name}() iterates rows in Python "
+                    f"({finding.detail}) but the analyzer classifies "
+                    f"{name!r} as {verdict} -- declare a batch= numpy "
+                    f"implementation (register_batch)",
+                ))
+                break
+
+    for name, node in sorted(batch_ops.items()):
+        findings = _vectorize.analyze_rows(node)
+        for finding in findings:
+            if finding.kind is _vectorize.RowKind.ROW_LOOP:
+                out.append(Violation(
+                    path, finding.line, "AL009",
+                    f"{node.name}() is the batch implementation of "
+                    f"{name!r} but still iterates rows in Python "
+                    f"({finding.detail}) -- the batch path must stay "
+                    f"columnar",
+                ))
+                break
+
+
 def lint_file(path: Path) -> list[Violation]:
     source = path.read_text()
     try:
@@ -422,6 +559,7 @@ def lint_file(path: Path) -> list[Violation]:
     _check_module_state(tree, path, violations)
     _check_exception_swallowing(tree, path, violations)
     _check_builtin_hash(tree, path, violations)
+    _check_row_loops(tree, path, violations)
     disabled = {
         number
         for number, text in enumerate(source.splitlines(), start=1)
