@@ -15,12 +15,25 @@ PR from here on has a throughput trajectory to move.  Three views:
   is paid in).
 
 Timings take the best of ``repeat`` runs: the minimum is the right
-estimator for throughput under a noisy scheduler.
+estimator for throughput under a noisy scheduler.  Outputs come from
+the *first* run and every later repeat is byte-checked against it, so
+a flaky operation cannot pass the equality contract by accident.
+
+Each payload carries a **provenance** block (git sha, UTC timestamp,
+python/numpy versions, a workload fingerprint) so entries in the
+append-only ``BENCH_history.jsonl`` trajectory
+(:mod:`repro.bench.history`) stay comparable across machines and PRs.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import platform
+import subprocess
+import sys
 import time
+from datetime import datetime, timezone
 from typing import Any, Callable
 
 import numpy as np
@@ -31,9 +44,12 @@ from repro.core.pipeline import Pipeline
 from repro.datasets.registry import load_dataset, load_flows
 from repro.flows import Granularity
 
-__all__ = ["run_perf_benchmark", "PERF_DATASET"]
+__all__ = ["run_perf_benchmark", "collect_provenance", "PERF_DATASET"]
 
 PERF_DATASET = "F0"
+
+#: bumped when the payload layout changes incompatibly
+PAYLOAD_SCHEMA = 2
 
 #: per-op benchmark params; ops absent here use registration defaults
 _OP_PARAMS: dict[str, dict] = {
@@ -55,13 +71,46 @@ _FEATURIZE_TEMPLATE = [
 ]
 
 
-def _best_of(fn: Callable[[], Any], repeat: int) -> tuple[float, Any]:
+def _same_bytes(a: Any, b: Any) -> bool:
+    """Byte-level equality for the value shapes the benchmark times."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and a.dtype == b.dtype
+            and a.tobytes() == b.tobytes()
+        )
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(_same_bytes(a[k], b[k]) for k in a)
+    return True  # tables/flows are inputs, never timed outputs
+
+
+def _best_of(
+    fn: Callable[[], Any], repeat: int, label: str = "timed function"
+) -> tuple[float, Any]:
+    """Best wall time of ``repeat`` runs, with the *first* run's output.
+
+    Returning a deterministic run's output (instead of whichever repeat
+    happened to finish last) keeps the byte-equality contract honest:
+    every later repeat is checked against the first, so a flaky op
+    raises here rather than slipping through when its final repeat
+    coincidentally agreed.
+    """
     best = float("inf")
     result = None
-    for _ in range(max(1, repeat)):
+    for iteration in range(max(1, repeat)):
         started = time.perf_counter()
-        result = fn()
+        out = fn()
         best = min(best, time.perf_counter() - started)
+        if iteration == 0:
+            result = out
+        elif not _same_bytes(result, out):
+            raise RuntimeError(
+                f"{label}: outputs differ across timing repeats "
+                f"(repeat {iteration + 1} of {repeat}); the operation is "
+                "not deterministic and cannot be benchmarked"
+            )
     return best, result
 
 
@@ -122,10 +171,10 @@ def _converted_op_section(table, flows, repeat: int) -> dict:
         inputs = [value]
         rows = len(value)
         scalar_s, scalar_out = _best_of(
-            lambda: operation.fn(inputs, params), repeat
+            lambda: operation.fn(inputs, params), repeat, f"{name} (scalar)"
         )
         batch_s, batch_out = _best_of(
-            lambda: operation.batch(inputs, params), repeat
+            lambda: operation.batch(inputs, params), repeat, f"{name} (batch)"
         )
         byte_equal = (
             scalar_out.shape == batch_out.shape
@@ -162,8 +211,8 @@ def _featurize_section(table, repeat: int) -> dict:
         )
         return engine.run(pipeline, table, outputs=["X", "y"])
 
-    scalar_s, _ = _best_of(lambda: run(False), repeat)
-    vector_s, _ = _best_of(lambda: run(True), repeat)
+    scalar_s, _ = _best_of(lambda: run(False), repeat, "featurize (scalar)")
+    vector_s, _ = _best_of(lambda: run(True), repeat, "featurize (vector)")
     return {
         "template_steps": len(_FEATURIZE_TEMPLATE),
         "packets": packets,
@@ -174,6 +223,45 @@ def _featurize_section(table, repeat: int) -> dict:
             packets / vector_s if vector_s else None
         ),
         "speedup": scalar_s / vector_s if vector_s else None,
+    }
+
+
+def _git_sha() -> str | None:
+    """The current commit sha, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def collect_provenance(workload: dict) -> dict:
+    """Who/when/what produced a perf payload.
+
+    The workload fingerprint hashes the parameters that define *what*
+    was measured (dataset, packet/flow counts, payload sizing) so
+    trajectory tooling can warn before diffing two payloads that
+    measured different things.  ``repeat`` is deliberately excluded:
+    more timing repeats change the noise floor, not the workload.
+    """
+    measured = {k: v for k, v in workload.items() if k != "repeat"}
+    fingerprint = hashlib.sha256(
+        json.dumps(measured, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+    return {
+        "schema": PAYLOAD_SCHEMA,
+        "git_sha": _git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": f"{sys.platform}/{platform.machine()}",
+        "workload_fingerprint": fingerprint,
     }
 
 
@@ -206,15 +294,17 @@ def run_perf_benchmark(
     """
     table = _attach_payloads(load_dataset(dataset_id), payload_bytes)
     flows = load_flows(dataset_id, Granularity.CONNECTION)
+    workload = {
+        "dataset": dataset_id,
+        "packets": len(table),
+        "flows": len(flows),
+        "payload_bytes": payload_bytes,
+        "repeat": repeat,
+    }
     payload: dict[str, Any] = {
         "benchmark": "perf-baseline",
-        "workload": {
-            "dataset": dataset_id,
-            "packets": len(table),
-            "flows": len(flows),
-            "payload_bytes": payload_bytes,
-            "repeat": repeat,
-        },
+        "workload": workload,
+        "provenance": collect_provenance(workload),
         "converted_ops": _converted_op_section(table, flows, repeat),
         "featurize": _featurize_section(table, repeat),
     }

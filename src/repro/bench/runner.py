@@ -45,7 +45,7 @@ from repro.flows import Granularity, can_evaluate
 from repro.ml import classification_summary
 from repro.ml.model_selection import stratified_split_indices
 from repro.ml.metrics import precision_score, recall_score
-from repro.obs import METRICS, get_tracer
+from repro.obs import METRICS, ResourceProbe, get_tracer
 from repro.obs import metrics as metric_names
 
 
@@ -265,6 +265,9 @@ class BenchmarkRunner:
             test_dataset=test_id,
             mode=mode,
         ) as span:
+            # process CPU: the watchdog path runs the cell on a worker
+            # thread, and model fits may fan out further
+            probe = ResourceProbe(cpu="process").start()
             span.set("attempts", attempt)
             try:
                 if mode == "same":
@@ -286,11 +289,13 @@ class BenchmarkRunner:
                     "timeout" if isinstance(exc, EvaluationTimeout)
                     else "error",
                 )
+                probe.finish(span)
                 raise
             span.set("outcome", "ok")
             span.set("precision", result["precision"])
             span.set("recall", result["recall"])
             span.set("f1", result["f1"])
+            probe.finish(span)
         elapsed = time.perf_counter() - started
         METRICS.counter(
             metric_names.EVALUATIONS_COMPLETED,
@@ -526,6 +531,7 @@ class BenchmarkRunner:
         checkpoint: str | None = None,
         resume: str | None = None,
         retry_failed: bool = False,
+        progress=None,
     ) -> ResultStore:
         """Execute ``cells`` in order with the configured tolerance.
 
@@ -536,7 +542,12 @@ class BenchmarkRunner:
         campaign across restarts).  ``keep_going`` continues past cells
         whose retries are exhausted; otherwise the first exhausted cell
         re-raises its final exception -- after journaling it.
+        ``progress`` (a :class:`~repro.bench.progress.MatrixProgress`)
+        receives one event per finished cell -- including resumed skips
+        and failures, so its counts always advance to the total.
         """
+        if progress is not None and not progress.begun:
+            progress.begin(len(cells))
         skip: set[tuple[str, str, str]] = set()
         if resume:
             state = CheckpointJournal.load(resume)
@@ -560,6 +571,8 @@ class BenchmarkRunner:
                     get_tracer().event(
                         "evaluate.resumed", cell="/".join(cell)
                     )
+                    if progress is not None:
+                        progress.record(cell, "resumed")
                     continue
                 if guarded:
                     outcome = self.evaluate_guarded(*cell)
@@ -567,6 +580,12 @@ class BenchmarkRunner:
                     outcome = self.evaluate(*cell)
                 if journal is not None:
                     journal.append_outcome(outcome)
+                if progress is not None:
+                    progress.record(
+                        cell,
+                        "failed" if isinstance(outcome, FailureRecord)
+                        else "ok",
+                    )
                 if isinstance(outcome, FailureRecord) and not keep_going:
                     if outcome.cause is not None:
                         raise outcome.cause
@@ -612,6 +631,7 @@ class BenchmarkRunner:
         checkpoint: str | None = None,
         resume: str | None = None,
         retry_failed: bool = False,
+        progress=None,
     ) -> ResultStore:
         """Both evaluation modes (the full Section 5 matrix).
 
@@ -621,15 +641,24 @@ class BenchmarkRunner:
         the engine's shared cache under the same keys the cells compute,
         so each cell's featurization phase is pure cache fan-out.  With
         no plan, execution is byte-identical to the classic path.
+
+        ``progress`` (a :class:`~repro.bench.progress.MatrixProgress`)
+        gets one event per finished cell; it is begun *before* plan
+        priming so its plan-stage-sharing and cache-hit deltas cover
+        the whole campaign.
         """
+        cells = self.matrix_cells(algorithm_ids, dataset_ids)
+        if progress is not None:
+            progress.begin(len(cells))
         if plan is not None:
             self.prime_plan(plan, algorithm_ids, dataset_ids)
         return self._run_cells(
-            self.matrix_cells(algorithm_ids, dataset_ids),
+            cells,
             keep_going=keep_going,
             checkpoint=checkpoint,
             resume=resume,
             retry_failed=retry_failed,
+            progress=progress,
         )
 
     def prime_plan(

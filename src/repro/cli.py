@@ -19,7 +19,14 @@ The operator-facing surface of the benchmarking suite:
 * ``trace`` -- run any repro command and print its span tree (or
   render a saved ``.jsonl`` trace file);
 * ``metrics`` -- the process metrics registry, optionally after
-  running a command.
+  running a command;
+* ``bench-perf`` -- measure the throughput baseline and append it to
+  the perf trajectory; ``perf-diff`` -- compare two payloads under
+  noise thresholds (nonzero exit on regression: the CI perf gate);
+  ``perf-history`` -- the trajectory table.
+
+``matrix --progress`` shows a live done/total + ETA line while the
+campaign runs; ``--progress-file`` journals the same events as JSONL.
 
 Commands that execute pipelines (``evaluate``, ``matrix``, ``profile``,
 ``run-template``, ``validate``) accept ``--trace PATH`` to export the
@@ -90,9 +97,18 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
-    from repro.bench import BenchmarkRunner
+    from repro.bench import BenchmarkRunner, MatrixProgress, TtyProgressRenderer
     from repro.core.errors import TemplateDiagnosticError
 
+    progress = None
+    if args.progress or args.progress_file:
+        progress = MatrixProgress()
+        if args.progress:
+            progress.add_sink(TtyProgressRenderer(sys.stderr))
+        if args.progress_file:
+            from repro.obs import JsonlFileSink
+
+            progress.add_sink(JsonlFileSink(args.progress_file))
     injector = None
     if args.faults:
         from repro.faults import FaultInjector, FaultPlan, install
@@ -134,11 +150,14 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
                 checkpoint=args.checkpoint,
                 resume=args.resume,
                 retry_failed=args.retry_failed,
+                progress=progress,
             )
         except TemplateDiagnosticError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     finally:
+        if progress is not None:
+            progress.close()
         if injector is not None:
             from repro.faults import uninstall
 
@@ -469,6 +488,7 @@ def _cmd_vectorize(args: argparse.Namespace) -> int:
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
     import json as json_module
 
+    from repro.bench.history import append_history
     from repro.bench.perf import run_perf_benchmark
 
     payload = run_perf_benchmark(
@@ -478,6 +498,8 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     with open(args.out, "w") as handle:
         json_module.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    if not args.no_history:
+        append_history(payload, args.history)
     if args.json:
         print(json_module.dumps(payload, indent=2, sort_keys=True))
     else:
@@ -505,6 +527,52 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
                 "cells/hour"
             )
     print(f"baseline written to {args.out}")
+    if not args.no_history:
+        print(f"trajectory appended to {args.history}")
+    return 0
+
+
+def _load_perf_payload(path: str) -> dict:
+    """One perf payload from a ``BENCH_perf.json``-style file."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: payload is not a JSON object")
+    return payload
+
+
+def _cmd_perf_diff(args: argparse.Namespace) -> int:
+    from repro.bench.history import diff_payloads, render_perf_diff
+
+    try:
+        before = _load_perf_payload(args.before)
+        after = _load_perf_payload(args.after)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.threshold is not None:
+        kwargs["threshold"] = args.threshold
+    diff = diff_payloads(before, after, **kwargs)
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_perf_diff(diff))
+    return 1 if diff.has_regressions else 0
+
+
+def _cmd_perf_history(args: argparse.Namespace) -> int:
+    from repro.bench.history import load_history, render_history
+
+    try:
+        entries = load_history(args.history)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+    else:
+        print(render_history(entries, series=args.series, limit=args.limit))
     return 0
 
 
@@ -687,6 +755,12 @@ def build_parser() -> argparse.ArgumentParser:
                    "execution plan before running cells: a plan JSON "
                    "saved by `repro plan --out`, or 'auto' to build one "
                    "for the requested matrix in-process")
+    p.add_argument("--progress", action="store_true",
+                   help="live progress on stderr: cells done/total, "
+                   "cells/hour, ETA, failures, cache hit-rate")
+    p.add_argument("--progress-file", default=None, metavar="PATH",
+                   help="also append each progress event as a JSON line "
+                   "to PATH (tail-able; schema in docs/OBSERVABILITY.md)")
     _add_trace_flag(p)
     p.set_defaults(fn=_cmd_matrix)
 
@@ -794,7 +868,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print the payload to stdout")
     p.add_argument("--no-cells", action="store_true",
                    help="skip the cells/hour measurement (quick smoke)")
+    p.add_argument("--history", default="BENCH_history.jsonl",
+                   metavar="PATH",
+                   help="append the payload to this perf-trajectory "
+                   "store (default: BENCH_history.jsonl)")
+    p.add_argument("--no-history", action="store_true",
+                   help="do not append to the trajectory store")
     p.set_defaults(fn=_cmd_bench_perf)
+
+    p = sub.add_parser(
+        "perf-diff",
+        help="compare two perf payloads series-by-series; exits 1 on "
+        "any regression past the noise threshold (the CI perf gate)")
+    p.add_argument("before", help="baseline BENCH_perf.json")
+    p.add_argument("after", help="candidate BENCH_perf.json")
+    p.add_argument("--threshold", type=float, default=None,
+                   metavar="FRACTION",
+                   help="relative drop tolerated per series before it "
+                   "counts as a regression (default: 0.20; known-noisy "
+                   "series keep their wider built-in thresholds)")
+    p.add_argument("--json", action="store_true",
+                   help="print the diff as JSON")
+    p.set_defaults(fn=_cmd_perf_diff)
+
+    p = sub.add_parser(
+        "perf-history",
+        help="render the perf trajectory (BENCH_history.jsonl) as a "
+        "table, newest entry last")
+    p.add_argument("--history", default="BENCH_history.jsonl",
+                   metavar="PATH",
+                   help="the trajectory store to read")
+    p.add_argument("--series", default=None, metavar="SUBSTRING",
+                   help="show every series whose name contains "
+                   "SUBSTRING instead of the summary columns")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="only the most recent N entries")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw payload entries as JSON")
+    p.set_defaults(fn=_cmd_perf_history)
 
     p = sub.add_parser("run-template",
                        help="validate and run a template file")

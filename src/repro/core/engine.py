@@ -33,7 +33,6 @@ import hashlib
 import json
 import threading
 import time
-import tracemalloc
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
@@ -43,7 +42,7 @@ from repro.core.pipeline import OperationCall, Pipeline, SOURCE_NAME
 from repro.core.profiling import OperationProfile, ProfileReport
 from repro.core.types import ValueType, check_type, infer_type_info
 from repro.net.table import PacketTable
-from repro.obs import METRICS, get_tracer
+from repro.obs import METRICS, ResourceProbe, get_tracer
 from repro.obs import metrics as metric_names
 
 
@@ -370,6 +369,7 @@ class ExecutionEngine:
             unsafe_parallel=self.unsafe_parallel,
             outputs=",".join(wanted),
         ) as run_span:
+            run_probe = ResourceProbe(cpu="process").start()
             if self.parallel:
                 # tracemalloc state is process-global; per-step memory
                 # tracking is meaningless (and racy) across threads.
@@ -387,6 +387,7 @@ class ExecutionEngine:
                     self._collect_garbage(index, env, last_use, wanted)
             run_span.set("cached_steps",
                          sum(1 for p in report.profiles if p.cached))
+            run_probe.finish(run_span)
         METRICS.counter(
             metric_names.RUNS_COMPLETED, "pipeline executions completed"
         ).inc()
@@ -537,6 +538,9 @@ class ExecutionEngine:
             purity=safety.purity,
             thread=threading.current_thread().name,
         ) as span:
+            # the probe covers the whole step -- cache lookups included,
+            # since a lookup still spends CPU the trace should account
+            probe = ResourceProbe(track_alloc=self.track_memory).start()
             for attr, value in (span_attrs or {}).items():
                 span.set(attr, value)
             if serialized:
@@ -559,6 +563,7 @@ class ExecutionEngine:
                     span.set("cached", True)
                     span.set("wall_seconds", 0.0)
                     span.set("peak_memory_bytes", 0)
+                    probe.finish(span)
                     METRICS.counter(
                         metric_names.STEPS_CACHED,
                         "steps served from the shared result cache",
@@ -586,22 +591,17 @@ class ExecutionEngine:
                         "batch-declaring steps refused vectorized"
                         " execution",
                     ).inc()
-            if self.track_memory:
-                tracemalloc.start()
             started = time.perf_counter()
             try:
                 result = fn(inputs, call.params)
             except Exception as exc:
-                if self.track_memory:
-                    tracemalloc.stop()
+                probe.finish(span)
                 if isinstance(exc, PipelineError):
                     raise
                 raise PipelineError(call.name, index, exc) from exc
             elapsed = time.perf_counter() - started
-            peak = 0
-            if self.track_memory:
-                _, peak = tracemalloc.get_traced_memory()
-                tracemalloc.stop()
+            resources = probe.finish(span)
+            peak = resources.get("alloc_peak_bytes", 0)
             env[call.output] = result
             if cacheable:
                 self.shared_cache.put(key, result)
@@ -612,8 +612,10 @@ class ExecutionEngine:
                 metric_names.STEPS_EXECUTED, "operation steps executed"
             ).inc()
             METRICS.histogram(
-                metric_names.STEP_SECONDS, "wall seconds per executed step"
-            ).observe(elapsed)
+                metric_names.STEP_SECONDS,
+                "wall seconds per executed step, labeled by operation",
+                labelnames=("operation",),
+            ).labels(operation=call.name).observe(elapsed)
             report.add_span(span)
 
     @staticmethod
@@ -670,6 +672,9 @@ class ExecutionEngine:
                     workers=min(self.max_workers, max(len(concurrent), 1)),
                     serialized=len(serial),
                 ) as wave_span:
+                    # pool threads do the work: process CPU is the
+                    # honest unit for the wave as a whole
+                    wave_probe = ResourceProbe(cpu="process").start()
                     futures = [
                         pool.submit(self._run_step, index, call, env, keys,
                                     report, wave_span)
@@ -687,6 +692,7 @@ class ExecutionEngine:
                             "steps run serially in parallel mode because"
                             " their operation is not proven parallel-safe",
                         ).inc()
+                    wave_probe.finish(wave_span)
                 # pool threads append profiles in completion order;
                 # keep the report deterministic across runs
                 report.profiles.sort(key=lambda p: p.step)

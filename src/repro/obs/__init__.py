@@ -8,6 +8,8 @@ Zero-dependency instrumentation for the whole framework:
 * :mod:`repro.obs.metrics` -- the process-global
   :class:`MetricsRegistry` (cache hits/misses, steps executed, packets
   generated, evaluations completed, ...);
+* :mod:`repro.obs.resources` -- the :class:`ResourceProbe` attaching
+  CPU time, peak RSS, GC and allocation deltas to spans;
 * :mod:`repro.obs.sinks` -- where events go: an in-memory ring buffer,
   or a JSONL file (``REPRO_TRACE_FILE`` / ``--trace``);
 * :mod:`repro.obs.render` -- the human tree view and the shared
@@ -20,11 +22,13 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LabeledFamily,
     METRICS,
     MetricsRegistry,
     get_metrics,
 )
 from repro.obs.render import TreeRenderer, build_tree, format_bytes
+from repro.obs.resources import ResourceProbe, gc_collections, rss_peak_bytes
 from repro.obs.sinks import JsonlFileSink, RingBufferSink, read_trace
 from repro.obs.spans import Span, Tracer, get_ring, get_tracer
 
@@ -32,6 +36,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LabeledFamily",
     "METRICS",
     "MetricsRegistry",
     "get_metrics",
@@ -41,6 +46,9 @@ __all__ = [
     "JsonlFileSink",
     "RingBufferSink",
     "read_trace",
+    "ResourceProbe",
+    "gc_collections",
+    "rss_peak_bytes",
     "Span",
     "Tracer",
     "get_ring",

@@ -7,10 +7,22 @@ whole evaluation matrix, packets generated while building datasets,
 steps actually executed versus served from cache.
 
 Everything here is stdlib-only and thread-safe: the engine increments
-counters from pool threads in parallel mode.  Metrics are monotonic
-(counters) or last-write (gauges); ``snapshot()`` returns a plain dict
-and ``render_prometheus()`` a Prometheus-style text exposition, both
-cheap enough to call at any time.
+counters from pool threads in parallel mode, and every read
+(``value``, ``snapshot()``, the Prometheus exposition) takes the same
+lock the writers hold, so a snapshot taken mid-observation can never
+tear (a ``count`` from one observation paired with a ``sum`` from the
+next).  Metrics are monotonic (counters) or last-write (gauges);
+``snapshot()`` returns a plain dict and ``render_prometheus()`` a
+Prometheus-style text exposition, both cheap enough to call at any
+time.
+
+Metrics may carry **labels**: asking the registry for a metric with
+``labelnames=(...)`` returns a :class:`LabeledFamily` whose
+``labels(...)`` method get-or-creates one child per label-value set --
+``engine_step_seconds{operation="NprintEncode"}`` attributes step time
+per operation instead of lumping every op into one histogram.  Label
+values and help text are escaped per the Prometheus text-format rules
+(backslash, double-quote and newline).
 """
 
 from __future__ import annotations
@@ -50,6 +62,7 @@ CACHE_WRITE_ERRORS = "engine_cache_write_errors_total"
 FAULTS_INJECTED = "faults_injected_total"
 VECTORIZED_STEPS = "engine_vectorized_steps_total"
 VECTOR_REFUSALS = "engine_vector_refusals_total"
+PROGRESS_EVENTS = "bench_progress_events_total"
 
 
 class Counter:
@@ -71,10 +84,11 @@ class Counter:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def snapshot(self):
-        return self._value
+        return self.value
 
 
 class Gauge:
@@ -101,10 +115,11 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def snapshot(self):
-        return self._value
+        return self.value
 
 
 class Histogram:
@@ -133,15 +148,78 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        # one lock acquisition covers every field: a snapshot taken
+        # while pool threads observe() can never pair a count from one
+        # observation with the sum of the next
+        with self._lock:
+            count = self.count
+            total = self.total
+            minimum = self.minimum
+            maximum = self.maximum
+        return {
+            "count": count,
+            "sum": total,
+            "min": minimum,
+            "max": maximum,
+            "mean": total / count if count else 0.0,
+        }
+
+
+class LabeledFamily:
+    """One metric name fanned out over label-value sets.
+
+    ``labels(...)`` is get-or-create (like the registry itself): every
+    call with the same label values returns the same child metric, so
+    instrumentation sites never coordinate.  Children are plain
+    :class:`Counter`/:class:`Gauge`/:class:`Histogram` instances keyed
+    by their label values in ``labelnames`` order.
+    """
+
+    def __init__(self, cls, name: str, help: str, labelnames) -> None:
+        if not labelnames:
+            raise ValueError("a labeled metric needs at least one label name")
+        self.cls = cls
+        self.kind = cls.kind
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def labels(self, **labelvalues):
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels "
+                f"{sorted(self.labelnames)}, got {sorted(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self.cls(self.name, self.help)
+                self._children[key] = child
+            return child
+
+    def children(self) -> dict[tuple[str, ...], object]:
+        with self._lock:
+            return dict(self._children)
+
+    def labelset(self, key: tuple[str, ...]) -> str:
+        """The rendered ``{name="value",...}`` selector for one child."""
+        pairs = ",".join(
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in zip(self.labelnames, key)
+        )
+        return "{" + pairs + "}"
 
     def snapshot(self):
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum,
-            "max": self.maximum,
-            "mean": self.mean,
+            self.labelset(key): child.snapshot()
+            for key, child in sorted(self.children().items())
         }
 
 
@@ -151,40 +229,59 @@ class MetricsRegistry:
     ``counter``/``gauge``/``histogram`` are get-or-create: calling them
     twice with the same name returns the same object, so
     instrumentation sites never need to coordinate registration.
-    Asking for an existing name as a different kind raises.
+    Asking for an existing name as a different kind -- or with
+    different ``labelnames`` -- raises.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram | LabeledFamily] = {}
 
-    def _get_or_create(self, cls, name: str, help: str):
+    def _get_or_create(self, cls, name: str, help: str, labelnames=None):
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
-                metric = cls(name, help)
+                if labelnames is not None:
+                    metric = LabeledFamily(cls, name, help, labelnames)
+                else:
+                    metric = cls(name, help)
                 self._metrics[name] = metric
-            elif not isinstance(metric, cls):
+            elif metric.kind != cls.kind:
                 raise TypeError(
                     f"metric {name!r} already registered as {metric.kind}"
+                )
+            elif isinstance(metric, LabeledFamily) != (labelnames is not None):
+                raise TypeError(
+                    f"metric {name!r} already registered "
+                    f"{'with' if isinstance(metric, LabeledFamily) else 'without'}"
+                    " labels"
+                )
+            elif labelnames is not None and tuple(labelnames) != metric.labelnames:
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{metric.labelnames}, not {tuple(labelnames)}"
                 )
             if help and not metric.help:
                 metric.help = help
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help)
+    def counter(self, name: str, help: str = "", labelnames=None):
+        return self._get_or_create(Counter, name, help, labelnames)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, help)
+    def gauge(self, name: str, help: str = "", labelnames=None):
+        return self._get_or_create(Gauge, name, help, labelnames)
 
-    def histogram(self, name: str, help: str = "") -> Histogram:
-        return self._get_or_create(Histogram, name, help)
+    def histogram(self, name: str, help: str = "", labelnames=None):
+        return self._get_or_create(Histogram, name, help, labelnames)
 
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """All metric values as one plain (JSON-friendly) dict."""
+        """All metric values as one plain (JSON-friendly) dict.
+
+        Labeled families appear as one nested dict keyed by the
+        rendered labelset (``'{operation="Labels"}'``).
+        """
         with self._lock:
             metrics = dict(self._metrics)
         return {name: m.snapshot() for name, m in sorted(metrics.items())}
@@ -197,16 +294,15 @@ class MetricsRegistry:
         for name in sorted(metrics):
             metric = metrics[name]
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
-            if isinstance(metric, Histogram):
-                lines.append(f"{name}_count {metric.count}")
-                lines.append(f"{name}_sum {_fmt(metric.total)}")
-                if metric.count:
-                    lines.append(f"{name}_min {_fmt(metric.minimum)}")
-                    lines.append(f"{name}_max {_fmt(metric.maximum)}")
+            if isinstance(metric, LabeledFamily):
+                for key, child in sorted(metric.children().items()):
+                    lines.extend(
+                        _sample_lines(name, child, metric.labelset(key))
+                    )
             else:
-                lines.append(f"{name} {_fmt(metric.value)}")
+                lines.extend(_sample_lines(name, metric, ""))
         return "\n".join(lines)
 
     def reset(self) -> None:
@@ -215,8 +311,38 @@ class MetricsRegistry:
             self._metrics.clear()
 
 
+def _sample_lines(name: str, metric, labelset: str) -> list[str]:
+    """The exposition sample lines for one (possibly labeled) metric."""
+    if isinstance(metric, Histogram):
+        snap = metric.snapshot()
+        lines = [
+            f"{name}_count{labelset} {snap['count']}",
+            f"{name}_sum{labelset} {_fmt(snap['sum'])}",
+        ]
+        if snap["count"]:
+            lines.append(f"{name}_min{labelset} {_fmt(snap['min'])}")
+            lines.append(f"{name}_max{labelset} {_fmt(snap['max'])}")
+        return lines
+    return [f"{name}{labelset} {_fmt(metric.value)}"]
+
+
+def _escape_help(text: str) -> str:
+    """Prometheus HELP escaping: backslash and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _fmt(value: float) -> str:
-    return str(int(value)) if float(value).is_integer() else f"{value:.6g}"
+    value = float(value)
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
 
 
 #: the process-global registry every instrumentation site uses

@@ -5,6 +5,7 @@ import threading
 import pytest
 
 from repro.obs import MetricsRegistry, get_metrics
+from repro.obs.metrics import _fmt
 
 
 @pytest.fixture()
@@ -97,6 +98,99 @@ class TestPrometheusRendering:
         assert "lat_max 0.75" in text
 
 
+class TestLabeledFamilies:
+    def test_labels_get_or_create_same_child(self, registry):
+        family = registry.counter("ops_total", labelnames=("operation",))
+        a = family.labels(operation="Labels")
+        b = family.labels(operation="Labels")
+        assert a is b
+        a.inc(2)
+        assert family.labels(operation="Labels").value == 2
+        assert family.labels(operation="Groupby").value == 0
+
+    def test_wrong_label_names_raise(self, registry):
+        family = registry.counter("ops_total", labelnames=("operation",))
+        with pytest.raises(ValueError):
+            family.labels(op="Labels")
+        with pytest.raises(ValueError):
+            family.labels(operation="Labels", extra="x")
+
+    def test_plain_then_labeled_clash_raises(self, registry):
+        registry.counter("c")
+        with pytest.raises(TypeError):
+            registry.counter("c", labelnames=("operation",))
+
+    def test_labeled_then_plain_clash_raises(self, registry):
+        registry.counter("c", labelnames=("operation",))
+        with pytest.raises(TypeError):
+            registry.counter("c")
+
+    def test_labelnames_mismatch_raises(self, registry):
+        registry.counter("c", labelnames=("operation",))
+        with pytest.raises(ValueError):
+            registry.counter("c", labelnames=("operation", "phase"))
+
+    def test_kind_clash_still_raises_for_families(self, registry):
+        registry.counter("c", labelnames=("operation",))
+        with pytest.raises(TypeError):
+            registry.gauge("c", labelnames=("operation",))
+
+    def test_empty_labelnames_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c", labelnames=())
+
+    def test_labeled_histogram_renders_per_child(self, registry):
+        family = registry.histogram(
+            "step_seconds", "per-op step time", labelnames=("operation",)
+        )
+        family.labels(operation="Labels").observe(0.5)
+        family.labels(operation="Groupby").observe(1.5)
+        text = registry.render_prometheus()
+        assert '# TYPE step_seconds histogram' in text
+        assert 'step_seconds_count{operation="Labels"} 1' in text
+        assert 'step_seconds_sum{operation="Groupby"} 1.5' in text
+
+    def test_label_values_are_escaped(self, registry):
+        family = registry.counter("weird_total", labelnames=("name",))
+        family.labels(name='a"b\\c\nd').inc()
+        text = registry.render_prometheus()
+        assert 'weird_total{name="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_snapshot_nests_by_labelset(self, registry):
+        family = registry.counter("ops_total", labelnames=("operation",))
+        family.labels(operation="Labels").inc(3)
+        snap = registry.snapshot()
+        assert snap["ops_total"] == {'{operation="Labels"}': 3}
+
+
+class TestRenderingEdgeCases:
+    def test_empty_histogram_renders_without_min_max(self, registry):
+        registry.histogram("lat")
+        text = registry.render_prometheus()
+        assert "lat_count 0" in text
+        assert "lat_sum 0" in text
+        assert "lat_min" not in text
+        assert "lat_max" not in text
+
+    def test_help_newlines_and_backslashes_escaped(self, registry):
+        registry.counter("c", "line one\nline two \\ slash").inc()
+        text = registry.render_prometheus()
+        assert "# HELP c line one\\nline two \\\\ slash" in text
+        assert "\nline two" not in text.replace("\\n", "")
+
+    def test_fmt_integers_and_floats(self):
+        assert _fmt(3.0) == "3"
+        assert _fmt(-2.0) == "-2"
+        assert _fmt(0.031) == "0.031"
+        assert _fmt(-0.25) == "-0.25"
+
+    def test_fmt_large_values_stay_precise(self):
+        # beyond the exact-integer float range, fall back to %g rather
+        # than printing a misleadingly exact integer
+        assert _fmt(1e18) == "1e+18"
+        assert _fmt(123456789.0) == "123456789"
+
+
 class TestConcurrency:
     def test_parallel_increments_are_not_lost(self, registry):
         counter = registry.counter("n")
@@ -111,6 +205,29 @@ class TestConcurrency:
         for thread in threads:
             thread.join()
         assert counter.value == 8000
+
+    def test_histogram_snapshot_never_tears(self, registry):
+        """count and sum must come from the same lock acquisition."""
+        histogram = registry.histogram("h")
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                histogram.observe(2.0)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(2000):
+                snap = histogram.snapshot()
+                # every observation is exactly 2.0, so any torn pair
+                # shows up as sum != count * 2
+                assert snap["sum"] == snap["count"] * 2.0
+                if snap["count"]:
+                    assert snap["mean"] == 2.0
+        finally:
+            stop.set()
+            thread.join()
 
 
 def test_global_registry_is_a_singleton():

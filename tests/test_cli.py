@@ -530,3 +530,124 @@ class TestInspectAndDiff:
         capsys.readouterr()
         assert main(["diff", str(results), str(mutated)]) == 1
         assert "down" in capsys.readouterr().out
+
+
+def perf_payload(rate):
+    """A minimal synthetic BENCH_perf payload for the perf verbs."""
+    return {
+        "benchmark": "perf-baseline",
+        "provenance": {"schema": 2, "git_sha": "abc",
+                       "timestamp": "2026-08-08T00:00:00+00:00",
+                       "workload_fingerprint": "f" * 64},
+        "featurize": {
+            "scalar_packets_per_sec": rate / 2,
+            "vectorized_packets_per_sec": rate,
+            "speedup": 2.0,
+        },
+    }
+
+
+class TestPerfTrajectoryCommands:
+    def write(self, tmp_path, name, rate):
+        path = tmp_path / name
+        path.write_text(json.dumps(perf_payload(rate)))
+        return str(path)
+
+    def test_perf_diff_clean_exits_zero(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", 100_000.0)
+        assert main(["perf-diff", a, a]) == 0
+        assert "perf-diff: clean" in capsys.readouterr().out
+
+    def test_perf_diff_regression_exits_one_and_names_series(
+        self, tmp_path, capsys
+    ):
+        before = self.write(tmp_path, "a.json", 100_000.0)
+        after = self.write(tmp_path, "b.json", 70_000.0)  # -30%
+        assert main(["perf-diff", before, after]) == 1
+        out = capsys.readouterr().out
+        assert "featurize/vectorized_packets_per_sec" in out
+        assert "REGRESSED" in out
+
+    def test_perf_diff_threshold_flag(self, tmp_path, capsys):
+        before = self.write(tmp_path, "a.json", 100_000.0)
+        after = self.write(tmp_path, "b.json", 70_000.0)
+        assert main(["perf-diff", before, after, "--threshold", "0.5"]) == 0
+
+    def test_perf_diff_json_output(self, tmp_path, capsys):
+        before = self.write(tmp_path, "a.json", 100_000.0)
+        after = self.write(tmp_path, "b.json", 70_000.0)
+        assert main(["perf-diff", before, after, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["has_regressions"] is True
+        assert ("featurize/vectorized_packets_per_sec"
+                in payload["regressions"])
+
+    def test_perf_diff_missing_file_exits_two(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", 1.0)
+        assert main(["perf-diff", a, str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_perf_history_table(self, tmp_path, capsys):
+        history = tmp_path / "h.jsonl"
+        with history.open("w") as handle:
+            for rate in (90_000.0, 110_000.0):
+                handle.write(json.dumps(perf_payload(rate)) + "\n")
+        assert main(["perf-history", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "110,000" in out
+        assert "2026-08-08" in out
+
+    def test_perf_history_series_and_limit(self, tmp_path, capsys):
+        history = tmp_path / "h.jsonl"
+        with history.open("w") as handle:
+            for rate in (1.0, 2.0, 3.0):
+                handle.write(json.dumps(perf_payload(rate)) + "\n")
+        assert main(["perf-history", "--history", str(history),
+                     "--series", "featurize", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "featurize/vectorized_packets_per_sec" in out
+
+    def test_perf_history_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["perf-history", "--history",
+                     str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_bench_perf_appends_history(self, tmp_path, capsys):
+        out = tmp_path / "p.json"
+        history = tmp_path / "h.jsonl"
+        assert main(["bench-perf", "--repeat", "1", "--no-cells",
+                     "--out", str(out), "--history", str(history)]) == 0
+        assert "trajectory appended" in capsys.readouterr().out
+        lines = [line for line in history.read_text().splitlines()
+                 if line.strip()]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["provenance"]["schema"] == 2
+
+    def test_bench_perf_no_history(self, tmp_path, capsys):
+        out = tmp_path / "p.json"
+        history = tmp_path / "h.jsonl"
+        assert main(["bench-perf", "--repeat", "1", "--no-cells",
+                     "--out", str(out), "--history", str(history),
+                     "--no-history"]) == 0
+        assert not history.exists()
+
+
+class TestMatrixProgressFlags:
+    def test_progress_file_journals_every_cell(self, tmp_path, capsys):
+        progress_file = tmp_path / "p.jsonl"
+        assert main(["matrix", "--algorithms", "A14", "--datasets",
+                     "F0,F1", "--out", str(tmp_path / "r.json"),
+                     "--progress-file", str(progress_file)]) == 0
+        events = [json.loads(line)
+                  for line in progress_file.read_text().splitlines()
+                  if line.strip()]
+        assert len(events) == 4
+        assert [e["done"] for e in events] == [1, 2, 3, 4]
+        assert events[-1]["done"] == events[-1]["total"] == 4
+        assert all(e["kind"] == "progress" for e in events)
+
+    def test_progress_flag_renders_to_stderr(self, tmp_path, capsys):
+        assert main(["matrix", "--algorithms", "A14", "--datasets", "F0",
+                     "--out", str(tmp_path / "r.json"),
+                     "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "cells 1/1" in err

@@ -5,9 +5,20 @@ Stdlib-only (CI runs it without installing the package).  Checks that
 every line is a JSON object of kind ``span`` or ``event`` with the
 fields the sinks write (see ``docs/OBSERVABILITY.md``), that ids are
 consistent (a span's parent, when present in the file, shares its
-trace id), and that the file contains at least one span.
+trace id), that the file contains at least one span, and that every
+``step:*`` span carries the resource attributes the engine's
+:class:`ResourceProbe` attaches (cpu_seconds, rss_peak_bytes,
+gc_collections; alloc_bytes/alloc_peak_bytes when memory tracking was
+on).
+
+With ``--progress`` the file is instead validated as a matrix
+progress-event journal (``repro matrix --progress-file``): every line
+must be a ``kind: progress`` object with the documented counters,
+``done`` must advance monotonically without exceeding ``total``, and
+the failure count must never decrease.
 
 Usage:  python tools/check_trace.py TRACE.jsonl [MORE...]
+        python tools/check_trace.py --progress PROGRESS.jsonl [MORE...]
 Exit status 1 when any file is empty, malformed, or schema-invalid.
 """
 
@@ -34,6 +45,60 @@ _EVENT_FIELDS = {
     "ts": _NUMBER,
     "attrs": dict,
 }
+
+#: resource attrs the engine's ResourceProbe puts on every step span
+_RESOURCE_ATTRS = {
+    "cpu_seconds": _NUMBER,
+    "rss_peak_bytes": int,
+    "gc_collections": int,
+}
+
+#: attached only when allocation tracking (tracemalloc) was on
+_ALLOC_ATTRS = {
+    "alloc_bytes": int,
+    "alloc_peak_bytes": int,
+}
+
+_PROGRESS_FIELDS = {
+    "ts": _NUMBER,
+    "total": int,
+    "done": int,
+    "ok": int,
+    "failed": int,
+    "resumed": int,
+    "retried": int,
+    "faults_injected": int,
+    "elapsed_seconds": _NUMBER,
+    "plan_stages_shared": int,
+    "cell": str,
+    "outcome": str,
+}
+
+_PROGRESS_OUTCOMES = ("ok", "failed", "resumed")
+
+
+def _check_resources(where: str, span: dict, problems: list[str]) -> None:
+    """Resource attrs every ``step:*`` span must carry."""
+    attrs = span.get("attrs")
+    if not isinstance(attrs, dict):
+        return
+    for name, types in _RESOURCE_ATTRS.items():
+        value = attrs.get(name)
+        if value is None:
+            problems.append(f"{where}: step span missing resource "
+                            f"attr {name!r}")
+        elif not isinstance(value, types) or isinstance(value, bool):
+            problems.append(f"{where}: resource attr {name!r} has type "
+                            f"{type(value).__name__}")
+        elif value < 0:
+            problems.append(f"{where}: resource attr {name!r} is negative")
+    for name, types in _ALLOC_ATTRS.items():
+        value = attrs.get(name)
+        if value is not None and (
+            not isinstance(value, types) or isinstance(value, bool)
+        ):
+            problems.append(f"{where}: alloc attr {name!r} has type "
+                            f"{type(value).__name__}")
 
 
 def check_file(path: Path) -> list[str]:
@@ -85,6 +150,8 @@ def check_file(path: Path) -> list[str]:
                 f"{where}: span {event['span_id']} disagrees with its "
                 f"parent about the trace id"
             )
+        if event["name"].startswith("step:"):
+            _check_resources(where, event, problems)
         spans[event["span_id"]] = event
     if lines == 0:
         problems.append(f"{path}: trace is empty")
@@ -93,25 +160,95 @@ def check_file(path: Path) -> list[str]:
     return problems
 
 
+def check_progress_file(path: Path) -> list[str]:
+    """Validate a matrix progress-event journal."""
+    problems: list[str] = []
+    lines = 0
+    last_done = 0
+    last_failed = 0
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [f"{path}: unreadable: {exc}"]
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        lines += 1
+        where = f"{path}:{number}"
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{where}: not valid JSON: {exc.msg}")
+            continue
+        if not isinstance(event, dict):
+            problems.append(f"{where}: event is not an object")
+            continue
+        if event.get("kind") != "progress":
+            problems.append(
+                f"{where}: kind is {event.get('kind')!r}, not 'progress'"
+            )
+            continue
+        bad = False
+        for name, types in _PROGRESS_FIELDS.items():
+            value = event.get(name)
+            if value is None:
+                problems.append(f"{where}: missing field {name!r}")
+                bad = True
+            elif not isinstance(value, types) or isinstance(value, bool):
+                problems.append(f"{where}: field {name!r} has type "
+                                f"{type(value).__name__}")
+                bad = True
+        if bad:
+            continue
+        if event["outcome"] not in _PROGRESS_OUTCOMES:
+            problems.append(f"{where}: unknown outcome "
+                            f"{event['outcome']!r}")
+        if event["done"] != event["ok"] + event["failed"] + event["resumed"]:
+            problems.append(f"{where}: done != ok + failed + resumed")
+        if event["done"] <= last_done:
+            problems.append(f"{where}: done did not advance "
+                            f"({last_done} -> {event['done']})")
+        if event["done"] > event["total"]:
+            problems.append(f"{where}: done exceeds total")
+        if event["failed"] < last_failed:
+            problems.append(f"{where}: failure count decreased "
+                            f"({last_failed} -> {event['failed']})")
+        last_done = max(last_done, event["done"])
+        last_failed = max(last_failed, event["failed"])
+    if lines == 0:
+        problems.append(f"{path}: progress journal is empty")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
-    paths = argv if argv is not None else sys.argv[1:]
+    args = list(argv) if argv is not None else sys.argv[1:]
+    progress_mode = "--progress" in args
+    paths = [a for a in args if a != "--progress"]
     if not paths:
-        print("usage: check_trace.py TRACE.jsonl [MORE...]", file=sys.stderr)
+        print("usage: check_trace.py [--progress] FILE.jsonl [MORE...]",
+              file=sys.stderr)
         return 2
     problems: list[str] = []
-    total_spans = 0
+    total = 0
     for raw in paths:
         path = Path(raw)
-        found = check_file(path)
+        if progress_mode:
+            found = check_progress_file(path)
+        else:
+            found = check_file(path)
         problems.extend(found)
         if not found:
             events = [json.loads(line)
                       for line in path.read_text().splitlines()
                       if line.strip()]
-            total_spans += sum(e.get("kind") == "span" for e in events)
+            if progress_mode:
+                total += len(events)
+            else:
+                total += sum(e.get("kind") == "span" for e in events)
     for problem in problems:
         print(problem)
-    print(f"{len(paths)} file(s): {total_spans} span(s), "
+    unit = "progress event(s)" if progress_mode else "span(s)"
+    print(f"{len(paths)} file(s): {total} {unit}, "
           f"{len(problems)} problem(s)")
     return 1 if problems else 0
 
