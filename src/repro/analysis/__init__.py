@@ -57,6 +57,12 @@ from repro.analysis.safety import (
     pass_effects,
 )
 from repro.analysis.sources import LintTarget, collect_targets
+from repro.analysis.streamable import (
+    StreamReport,
+    audit_streamable,
+    operation_stream_report,
+    pass_streamable,
+)
 from repro.analysis.vectorize import (
     VectorReport,
     audit_vectorization,
@@ -78,11 +84,13 @@ __all__ = [
     "PlanStage",
     "Severity",
     "StepNode",
+    "StreamReport",
     "TemplateGraph",
     "VectorReport",
     "analyze_pipeline",
     "analyze_template",
     "audit_registry",
+    "audit_streamable",
     "audit_vectorization",
     "build_graph",
     "build_matrix_plan",
@@ -91,8 +99,10 @@ __all__ = [
     "collect_targets",
     "graph_from_pipeline",
     "operation_report",
+    "operation_stream_report",
     "operation_vector_report",
     "pass_effects",
+    "pass_streamable",
     "pass_vectorize",
     "verdict_fingerprints",
     "verify_plan",
@@ -111,6 +121,7 @@ def _run_passes(
     pass_ordering(graph, diagnostics)
     pass_effects(graph, diagnostics)
     pass_vectorize(graph, diagnostics)
+    pass_streamable(graph, diagnostics)
     if dataset_id is not None:
         pass_faithfulness(graph, diagnostics, dataset_id)
     return AnalysisResult(diagnostics)

@@ -1,0 +1,698 @@
+"""Streaming-safety analysis: incrementality and state-bound inference.
+
+The PR 6 vectorization analyzer proves which operations are safe to
+*batch*; this module proves which are safe to *stream* -- to execute
+chunk by chunk over a live capture with carried state, as the engine's
+``run_stream`` mode and the ROADMAP's online detection service require.
+It reuses the same stdlib-only AST machinery (the effects alias helpers
+and the vectorize row-taint visitor) and classifies every registered
+operation's incrementality:
+
+``stateless``
+    chunk results concatenate to the batch result with no carried
+    state (per-row featurizers, label extraction, row filters);
+``prefix-mergeable``
+    carried accumulator state folds across chunks -- processing the
+    chunks in order with persistent state reproduces the single-pass
+    result exactly (damped :class:`~repro.core.incstats.IncStat`
+    statistics, prefix scans);
+``window-bounded``
+    only the last W seconds/rows matter, with W derivable from params
+    like ``window``/``timeout`` (flow assembly, per-flow featurizers);
+``batch-only``
+    whole-trace dependence: global sorts, full-dataset normalization,
+    whole-input sampling, train/test fits.
+
+Alongside the verdict the pass infers a symbolic *state-size bound* --
+``O(1)``, ``O(window)``, ``O(flows)`` or ``O(n)`` -- and emits the
+stable diagnostics L041-L048.  The verdicts gate
+``ExecutionEngine.run_stream`` exactly as PR 3 verdicts gate caching
+and PR 6 verdicts gate batching: nothing unproven streams.
+
+The module is importable standalone by file path (``tools/astlint.py``
+loads it next to ``effects.py``/``vectorize.py`` for the AL010 check),
+so the top level imports nothing from the repo besides those two
+analyzers, with fallbacks to the lint loader's module names.
+"""
+
+from __future__ import annotations
+
+import ast
+import threading
+from dataclasses import dataclass
+
+try:  # normal package import
+    from repro.analysis.effects import _base_name
+except ImportError:  # loaded standalone by file path (tools/astlint.py)
+    from _astlint_effects import _base_name  # type: ignore
+
+try:
+    from repro.analysis.vectorize import (
+        OPAQUE,
+        ROW_VALUE_KINDS,
+        RowKind,
+        _fn_findings,
+        order_sensitive,
+        row_domain,
+    )
+except ImportError:
+    from _astlint_vectorize import (  # type: ignore
+        OPAQUE,
+        ROW_VALUE_KINDS,
+        RowKind,
+        _fn_findings,
+        order_sensitive,
+        row_domain,
+    )
+
+__all__ = [
+    "STATELESS",
+    "PREFIX_MERGEABLE",
+    "WINDOW_BOUNDED",
+    "BATCH_ONLY",
+    "STREAMABLE_VERDICTS",
+    "BOUND_ORDER",
+    "classify_stream",
+    "infer_state_bound",
+    "stream_state_audit",
+    "StreamReport",
+    "operation_stream_report",
+    "audit_streamable",
+    "pass_streamable",
+]
+
+# ---------------------------------------------------------------------------
+# Verdicts and bounds
+# ---------------------------------------------------------------------------
+
+STATELESS = "stateless"
+PREFIX_MERGEABLE = "prefix-mergeable"
+WINDOW_BOUNDED = "window-bounded"
+BATCH_ONLY = "batch-only"
+# OPAQUE is shared with the vectorization analyzer ("opaque").
+
+#: verdicts that permit the engine's chunked execution path
+STREAMABLE_VERDICTS = frozenset(
+    {STATELESS, PREFIX_MERGEABLE, WINDOW_BOUNDED}
+)
+
+#: symbolic state-size bounds, least to most memory (L048 compares ranks)
+BOUND_ORDER = {"O(1)": 0, "O(window)": 1, "O(flows)": 2, "O(n)": 3}
+
+# Callees that make an operation depend on the *whole* trace: fits,
+# global sorts, whole-input sampling, full-column moments.
+_BATCH_CALLS = frozenset(
+    {
+        "fit",
+        "fit_transform",
+        "fit_predict",
+        "partial_fit",
+        "sort",
+        "argsort",
+        "lexsort",
+        "sort_by_time",
+        "choice",
+        "permutation",
+        "shuffle",
+        "mean",
+        "std",
+        "var",
+        "median",
+        "average",
+        "nanmean",
+        "nanstd",
+        "percentile",
+        "quantile",
+        "unique",
+    }
+)
+
+# Callees whose carried state folds across chunks (prefix-mergeable).
+_PREFIX_CALLS = frozenset(
+    {
+        "kitsune_packet_features",
+        "kitsune_packet_features_stream",
+        "damped_group_stats",
+        "damped_interarrival_stats",
+        "cumsum",
+        "cumprod",
+        "accumulate",
+    }
+)
+
+# Prefix-mergeable callees whose state is keyed per group/flow.
+_GROUP_STATE_CALLS = frozenset(
+    {
+        "kitsune_packet_features",
+        "kitsune_packet_features_stream",
+        "damped_group_stats",
+        "damped_interarrival_stats",
+    }
+)
+
+# Callees that bound the needed history to a window/timeout.
+_WINDOW_CALLS = frozenset({"assemble_flows"})
+
+#: params that make a window bound derivable at the operation level
+_WINDOW_PARAMS = frozenset({"window", "timeout"})
+
+#: container methods that grow carried state
+_GROWTH_METHODS = frozenset(
+    {"append", "extend", "insert", "add", "update", "setdefault",
+     "appendleft", "push"}
+)
+
+#: container methods that shrink carried state (an eviction path)
+_SHRINK_METHODS = frozenset({"pop", "popitem", "clear", "remove", "discard"})
+
+#: method-name fragments that count as an eviction/timeout path
+_EVICTION_NAME_HINTS = ("evict", "expire", "flush", "timeout", "prune")
+
+
+def _marker_names(findings) -> set:
+    """Callee names carried by call-marker findings.
+
+    Strips the ``batch:``/``stream:`` body prefixes and any dotted
+    qualification, so markers match regardless of which body they came
+    from.
+    """
+    call_kinds = {
+        RowKind.SEQUENTIAL_CALL,
+        RowKind.ORDER_SENSITIVE,
+        RowKind.GROUPED_REDUCTION,
+        RowKind.ROW_SELECTION,
+    }
+    return {
+        finding.detail.split(":")[-1].rsplit(".", 1)[-1]
+        for finding in findings
+        if finding.kind in call_kinds
+    }
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+
+def classify_stream(findings, input_kinds, output_kind) -> str:
+    """The incrementality verdict for one operation.
+
+    ``input_kinds``/``output_kind`` are ValueType value strings.  A
+    whole-input reduction (rows in, non-row value out: train, tune,
+    evaluate) is batch-only by construction; flow-consuming steps are
+    window-bounded because a flow table is already the product of a
+    timeout/window-bounded assembly.
+    """
+    kinds = {finding.kind for finding in findings}
+    if RowKind.SOURCE_UNAVAILABLE in kinds:
+        return OPAQUE
+    if row_domain(input_kinds, output_kind) == "scalar":
+        # no rows flow through (model factories/wrappers): there is no
+        # per-chunk state to carry
+        return STATELESS
+    row_inputs = [kind for kind in input_kinds if kind in ROW_VALUE_KINDS]
+    if row_inputs and output_kind not in ROW_VALUE_KINDS:
+        # whole-input reduction: the single output fact needs all rows
+        return BATCH_ONLY
+    names = _marker_names(findings)
+    if names & _BATCH_CALLS:
+        return BATCH_ONLY
+    if "flows" in input_kinds or names & _WINDOW_CALLS:
+        return WINDOW_BOUNDED
+    if names & _PREFIX_CALLS or RowKind.LOOP_CARRIED in kinds:
+        return PREFIX_MERGEABLE
+    return STATELESS
+
+
+def infer_state_bound(verdict: str, findings) -> str:
+    """The symbolic carried-state bound implied by a verdict."""
+    if verdict == STATELESS:
+        return "O(1)"
+    if verdict == WINDOW_BOUNDED:
+        return "O(window)"
+    if verdict == PREFIX_MERGEABLE:
+        if _marker_names(findings) & _GROUP_STATE_CALLS:
+            return "O(flows)"
+        if any(
+            finding.kind is RowKind.LOOP_CARRIED
+            and "accumulates across rows" in finding.detail
+            for finding in findings
+        ):
+            # a list/dict accumulating one entry per row never folds
+            return "O(n)"
+        return "O(1)"
+    return "O(n)"  # batch-only / opaque: the whole trace is the state
+
+
+# ---------------------------------------------------------------------------
+# Carried-state growth/eviction audit (shared with astlint AL010)
+# ---------------------------------------------------------------------------
+
+
+def _carrier_names(node: ast.AST, seeds) -> set:
+    """Names (transitively) bound from the carried-state seeds.
+
+    Flat fixed-point over assignments: ``buffer = self._buffers.get(k)``
+    makes ``buffer`` a carrier when ``self`` is a seed.
+    """
+    names = set(seeds)
+    changed = True
+    while changed:
+        changed = False
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Assign):
+                continue
+            value = sub.value
+            if isinstance(value, ast.Call):
+                # the return of a carrier's method (get/setdefault/...)
+                # aliases the carried container
+                value = value.func
+            if _base_name(value) not in names:
+                continue
+            for target in sub.targets:
+                if isinstance(target, ast.Name) and target.id not in names:
+                    names.add(target.id)
+                    changed = True
+    return names
+
+
+def stream_state_audit(node: ast.AST, seeds) -> dict:
+    """Growth and eviction sites for carried state under ``node``.
+
+    ``seeds`` are the base names holding carried state (``{"self"}``
+    for a detector class, ``{"state"}`` for a stream body).  Growth is
+    a container-growing method call or a non-constant subscript
+    assignment on a carrier; eviction is any shrink call, ``del`` on a
+    carrier subscript, or a call whose name suggests an eviction path
+    (evict/expire/flush/timeout/prune).
+    """
+    carriers = _carrier_names(node, seeds)
+    growth: list = []
+    eviction: list = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            method = sub.func.attr
+            base = _base_name(sub.func.value)
+            receiver = ast.unparse(sub.func.value)
+            if any(hint in method.lower() for hint in _EVICTION_NAME_HINTS):
+                eviction.append((sub.lineno, f"{receiver}.{method}()"))
+            elif base in carriers and method in _SHRINK_METHODS:
+                eviction.append((sub.lineno, f"{receiver}.{method}()"))
+            elif base in carriers and method in _GROWTH_METHODS:
+                growth.append((sub.lineno, f"{receiver}.{method}()"))
+        elif isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                base = _base_name(target.value)
+                if base not in carriers:
+                    continue
+                if isinstance(target.slice, ast.Constant):
+                    continue  # fixed-key slot, not per-row growth
+                growth.append(
+                    (sub.lineno,
+                     f"{ast.unparse(target.value)}[...] grows per key")
+                )
+        elif isinstance(sub, ast.Delete):
+            for target in sub.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and _base_name(target.value) in carriers
+                ):
+                    eviction.append(
+                        (target.value.lineno,
+                         f"del {ast.unparse(target.value)}[...]")
+                    )
+    return {"growth": sorted(growth), "eviction": sorted(eviction)}
+
+
+# ---------------------------------------------------------------------------
+# Registry-facing reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """The streaming-safety verdict for one registered operation."""
+
+    operation: str
+    verdict: str
+    state_bound: str
+    declared: str | None
+    declared_bound: str | None
+    has_stream_fn: bool
+    sort_key: str | None
+    order_sensitive: bool
+    window_derivable: bool
+    findings: tuple = ()
+    diagnostics: tuple = ()
+    refusal: str | None = None
+
+    @property
+    def streamable(self) -> bool:
+        """Whether the engine may stream this operation chunk by chunk."""
+        return self.refusal is None
+
+    def codes(self) -> set:
+        return {diagnostic.code for diagnostic in self.diagnostics}
+
+    def to_dict(self) -> dict:
+        return {
+            "operation": self.operation,
+            "verdict": self.verdict,
+            "state_bound": self.state_bound,
+            "declared": self.declared,
+            "declared_bound": self.declared_bound,
+            "stream_fn": self.has_stream_fn,
+            "streamable": self.streamable,
+            "sort_key": self.sort_key,
+            "order_sensitive": self.order_sensitive,
+            "window_derivable": self.window_derivable,
+            "refusal": self.refusal,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "diagnostics": [str(d) for d in self.diagnostics],
+        }
+
+
+_STREAM_CACHE: dict = {}
+_STREAM_LOCK = threading.Lock()
+
+
+def _stream_body_node(fn) -> ast.AST | None:
+    try:
+        from repro.analysis.vectorize import _function_node
+    except ImportError:
+        from _astlint_vectorize import _function_node  # type: ignore
+    return _function_node(fn)
+
+
+def _state_arg_name(node: ast.AST) -> str:
+    args = getattr(node, "args", None)
+    if args is None:
+        return "state"
+    positional = [*args.posonlyargs, *args.args]
+    if len(positional) > 2:
+        return positional[2].arg
+    return "state"
+
+
+def operation_stream_report(operation) -> StreamReport:
+    """Analyze (and cache) one operation's streaming safety."""
+    stream_fn = getattr(operation, "stream_fn", None)
+    declared = getattr(operation, "stream", None)
+    declared_bound = getattr(operation, "state_bound", None)
+    key = (
+        operation.name, operation.fn, getattr(operation, "batch", None),
+        stream_fn, declared, declared_bound,
+    )
+    with _STREAM_LOCK:
+        cached = _STREAM_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    from repro.analysis.diagnostics import Diagnostic, Severity
+
+    input_kinds = tuple(t.value for t in operation.input_types)
+    output_kind = operation.output_type.value
+    findings = _fn_findings(operation.fn)
+    batch = getattr(operation, "batch", None)
+    if batch is not None:
+        findings = findings + _fn_findings(batch, prefix="batch:")
+    stream_findings: tuple = ()
+    if stream_fn is not None:
+        stream_findings = _fn_findings(stream_fn, prefix="stream:")
+    verdict = classify_stream(findings, input_kinds, output_kind)
+    bound = infer_state_bound(verdict, findings)
+    sort_key = getattr(operation, "sort_key", None)
+    ordered = order_sensitive(findings)
+    params = set(getattr(operation, "required_params", ()) or ())
+    params |= set(getattr(operation, "optional_params", {}) or {})
+    window_derivable = bool(params & _WINDOW_PARAMS)
+
+    state_audit = {"growth": [], "eviction": []}
+    if stream_fn is not None:
+        body = _stream_body_node(stream_fn)
+        if body is not None:
+            state_audit = stream_state_audit(body, {_state_arg_name(body)})
+
+    diagnostics = []
+    whole_trace = (
+        _marker_names(findings) | _marker_names(stream_findings)
+    ) & _BATCH_CALLS
+    if declared in STREAMABLE_VERDICTS and whole_trace:
+        diagnostics.append(
+            Diagnostic(
+                "L042", Severity.ERROR,
+                f"operation {operation.name!r} is declared "
+                f"stream={declared!r} but performs a whole-trace "
+                f"reduction ({', '.join(sorted(whole_trace))})",
+                operation=operation.name,
+                hint="remove the global reduction or withdraw stream=",
+            )
+        )
+    if declared is not None and declared != verdict:
+        diagnostics.append(
+            Diagnostic(
+                "L045", Severity.ERROR,
+                f"operation {operation.name!r} declares "
+                f"stream={declared!r} but the analyzer infers "
+                f"{verdict!r}: declaration and verdict have drifted",
+                operation=operation.name,
+                hint="fix the implementation or correct the stream= "
+                "declaration",
+            )
+        )
+    tight_budget = declared_bound in (None, "O(1)")
+    grows_unbounded = (
+        bool(state_audit["growth"]) and not state_audit["eviction"]
+    )
+    carried_rows = any(
+        finding.kind is RowKind.LOOP_CARRIED
+        and "accumulates across rows" in finding.detail
+        for finding in findings
+    )
+    if (
+        declared in STREAMABLE_VERDICTS
+        and tight_budget
+        and (grows_unbounded or carried_rows)
+    ):
+        where = (
+            f"line {state_audit['growth'][0][0]}: "
+            f"{state_audit['growth'][0][1]}"
+            if state_audit["growth"]
+            else "row accumulator in the scalar body"
+        )
+        diagnostics.append(
+            Diagnostic(
+                "L041", Severity.ERROR,
+                f"operation {operation.name!r} carries an unbounded "
+                f"container across chunks ({where}) with no declared "
+                "state budget above O(1)",
+                operation=operation.name,
+                hint="declare state_bound= (O(window)/O(flows)) or add "
+                "an eviction path",
+            )
+        )
+    if (
+        declared == WINDOW_BOUNDED
+        and grows_unbounded
+        and not tight_budget
+    ):
+        line, detail = state_audit["growth"][0]
+        diagnostics.append(
+            Diagnostic(
+                "L047", Severity.ERROR,
+                f"operation {operation.name!r} buffers input rows per "
+                f"flow (line {line}: {detail}) but never evicts: a "
+                "window-bounded op must expire idle state",
+                operation=operation.name,
+                hint="evict on FIN/RST or an inactivity timeout (see "
+                "StreamingFlowDetector)",
+            )
+        )
+    if (
+        declared_bound is not None
+        and declared_bound in BOUND_ORDER
+        and BOUND_ORDER[bound] > BOUND_ORDER[declared_bound]
+    ):
+        diagnostics.append(
+            Diagnostic(
+                "L048", Severity.ERROR,
+                f"operation {operation.name!r} declares "
+                f"state_bound={declared_bound!r} but the analyzer "
+                f"infers {bound!r}: the state budget is exceeded",
+                operation=operation.name,
+                hint="raise the declared budget or shrink the carried "
+                "state",
+            )
+        )
+    if declared in STREAMABLE_VERDICTS and (
+        verdict == WINDOW_BOUNDED and not window_derivable
+    ):
+        diagnostics.append(
+            Diagnostic(
+                "L043", Severity.WARNING,
+                f"operation {operation.name!r} is window-bounded but "
+                "no window/timeout parameter makes W derivable",
+                operation=operation.name,
+                hint="thread a window= or timeout= param through the "
+                "registration",
+            )
+        )
+    if verdict in STREAMABLE_VERDICTS and ordered and sort_key is None:
+        diagnostics.append(
+            Diagnostic(
+                "L044", Severity.WARNING,
+                f"operation {operation.name!r} is chunk-boundary "
+                "order sensitive but declares no sort key; chunked "
+                "and batch results may silently diverge",
+                operation=operation.name,
+                hint="declare sort_key= (usually 'ts') on the "
+                "registration",
+            )
+        )
+
+    refusal = None
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    if verdict not in STREAMABLE_VERDICTS:
+        refusal = f"verdict:{verdict}"
+    elif errors:
+        refusal = f"diagnostics:{errors[0].code}"
+    elif verdict != STATELESS and stream_fn is None:
+        refusal = "no-stream-implementation"
+
+    report = StreamReport(
+        operation=operation.name,
+        verdict=verdict,
+        state_bound=bound,
+        declared=declared,
+        declared_bound=declared_bound,
+        has_stream_fn=stream_fn is not None,
+        sort_key=sort_key,
+        order_sensitive=ordered,
+        window_derivable=window_derivable,
+        findings=tuple(findings) + tuple(stream_findings),
+        diagnostics=tuple(diagnostics),
+        refusal=refusal,
+    )
+    with _STREAM_LOCK:
+        _STREAM_CACHE[key] = report
+    return report
+
+
+def audit_streamable(operations=None) -> dict:
+    """Deterministic streaming audit of the operation registry."""
+    if operations is None:
+        from repro.core.operations import OPERATIONS
+
+        operations = OPERATIONS
+    reports = [
+        operation_stream_report(operations[name])
+        for name in sorted(operations)
+    ]
+    summary = {
+        "total": len(reports),
+        "stateless": sum(1 for r in reports if r.verdict == STATELESS),
+        "prefix_mergeable": sum(
+            1 for r in reports if r.verdict == PREFIX_MERGEABLE
+        ),
+        "window_bounded": sum(
+            1 for r in reports if r.verdict == WINDOW_BOUNDED
+        ),
+        "batch_only": sum(1 for r in reports if r.verdict == BATCH_ONLY),
+        "opaque": sum(1 for r in reports if r.verdict == OPAQUE),
+        "streamable": sum(1 for r in reports if r.streamable),
+        "declared": sum(1 for r in reports if r.declared is not None),
+        "errors": sum(
+            1
+            for r in reports
+            for d in r.diagnostics
+            if d.severity.value == "error"
+        ),
+    }
+    return {
+        "operations": [report.to_dict() for report in reports],
+        "summary": summary,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Template-level pass (L046, forwarded op warnings)
+# ---------------------------------------------------------------------------
+
+
+def _learning_tail(operation) -> bool:
+    """Whether a step belongs to the train/score tail of a template.
+
+    Streaming scores with a *pre-fitted* model, so model-touching steps
+    (model factories, train/tune, predict, evaluate) never pin a
+    feature pipeline: they are excluded from L046.
+    """
+    kinds = {t.value for t in operation.input_types}
+    kinds.add(operation.output_type.value)
+    return bool(kinds & {"model", "metrics"})
+
+
+def pass_streamable(graph, diagnostics) -> None:
+    """Emit L043/L044/L046 over one template (warnings only).
+
+    Execution stays gated per step by :func:`operation_stream_report`;
+    this pass only surfaces template-level structure: a batch-only step
+    sitting in the middle of an otherwise streamable feature pipeline
+    pins the whole template to batch mode (L046).
+    """
+    from repro.analysis.diagnostics import Diagnostic, Severity
+
+    reports: dict = {}
+    for node in graph.nodes:
+        if node.operation is None:
+            continue
+        try:
+            report = operation_stream_report(node.operation)
+        except Exception:
+            report = None
+        if report is None:
+            continue
+        reports[node.index] = report
+        for diagnostic in report.diagnostics:
+            if diagnostic.code in ("L043", "L044"):
+                diagnostics.append(
+                    Diagnostic(
+                        diagnostic.code,
+                        Severity.WARNING,
+                        diagnostic.message,
+                        step=node.index,
+                        operation=node.func,
+                        hint=diagnostic.hint,
+                    )
+                )
+
+    streamable_elsewhere = any(
+        report.verdict in STREAMABLE_VERDICTS
+        and not _learning_tail(node.operation)
+        for node in graph.nodes
+        if node.operation is not None
+        for report in (reports.get(node.index),)
+        if report is not None
+    )
+    if not streamable_elsewhere:
+        return
+    for node in graph.nodes:
+        if node.operation is None or _learning_tail(node.operation):
+            continue
+        report = reports.get(node.index)
+        if report is None or report.verdict != BATCH_ONLY:
+            continue
+        diagnostics.append(
+            Diagnostic(
+                "L046", Severity.WARNING,
+                f"step {node.index} ({node.func}) is batch-only and "
+                "pins this otherwise streamable template to batch "
+                "execution",
+                step=node.index,
+                operation=node.func,
+                hint="move the whole-trace step out of the streaming "
+                "path (e.g. downsample/normalize offline) to unlock "
+                "run_stream",
+            )
+        )

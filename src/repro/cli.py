@@ -485,6 +485,101 @@ def _cmd_vectorize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_streamable(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.analysis.streamable import audit_streamable
+
+    payload = audit_streamable()
+    if args.catalog:
+        from repro.algorithms import ALGORITHMS, build_algorithm
+        from repro.analysis.streamable import operation_stream_report
+        from repro.core.operations import OPERATIONS
+
+        catalog = {}
+        for algorithm_id in sorted(ALGORITHMS):
+            spec = build_algorithm(algorithm_id)
+            steps = []
+            for step in spec.full_template():
+                operation = OPERATIONS.get(step.get("func"))
+                if operation is None:
+                    continue
+                report = operation_stream_report(operation)
+                steps.append(
+                    {
+                        "func": operation.name,
+                        "verdict": report.verdict,
+                        "state_bound": report.state_bound,
+                        "refusal": report.refusal,
+                    }
+                )
+            catalog[algorithm_id] = {
+                "steps": steps,
+                "streamable": all(
+                    step["refusal"] is None for step in steps
+                ),
+            }
+        payload["catalog"] = catalog
+    if args.out:
+        with open(args.out, "w") as handle:
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        header = (
+            f"{'operation':<22} {'verdict':<18} {'bound':<10} "
+            f"{'declared':<18} {'stream':<7} codes"
+        )
+        print(header)
+        print("-" * len(header))
+        for op in payload["operations"]:
+            stream = "-"
+            if op["stream_fn"]:
+                stream = "yes" if op["streamable"] else "DRIFT"
+            codes = ",".join(
+                sorted({d.split()[0] for d in op["diagnostics"]})
+            )
+            print(
+                f"{op['operation']:<22} {op['verdict']:<18} "
+                f"{op['state_bound']:<10} {op['declared'] or '-':<18} "
+                f"{stream:<7} {codes or '-'}"
+            )
+            if args.verbose:
+                for finding in op["findings"]:
+                    print(
+                        f"    line {finding['line']}: {finding['kind']} "
+                        f"-- {finding['detail']}"
+                    )
+                if op["refusal"]:
+                    print(f"    refusal: {op['refusal']}")
+        summary = payload["summary"]
+        print(
+            f"{summary['total']} operation(s): "
+            f"{summary['stateless']} stateless, "
+            f"{summary['prefix_mergeable']} prefix-mergeable, "
+            f"{summary['window_bounded']} window-bounded, "
+            f"{summary['batch_only']} batch-only, "
+            f"{summary['opaque']} opaque; "
+            f"{summary['streamable']} streamable"
+        )
+    if args.strict:
+        problems = []
+        if payload["summary"]["errors"]:
+            problems.append(
+                f"{payload['summary']['errors']} drift/state-bound "
+                "error(s) (L041/L042/L045/L047/L048)"
+            )
+        if payload["summary"]["opaque"]:
+            problems.append(
+                f"{payload['summary']['opaque']} opaque verdict(s)"
+            )
+        if problems:
+            print(f"strict: {'; '.join(problems)}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
     import json as json_module
 
@@ -854,6 +949,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="show per-finding detail under each operation")
     p.set_defaults(fn=_cmd_vectorize)
+
+    p = sub.add_parser(
+        "streamable",
+        help="streaming-safety audit: incrementality verdicts and "
+        "state bounds for every registered operation")
+    p.add_argument("--json", action="store_true",
+                   help="print the audit as JSON (for CI)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the JSON audit to a file")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 on verdict drift or unbounded state "
+                   "(L041/L042/L045/L047/L048) or any opaque verdict")
+    p.add_argument("--catalog", action="store_true",
+                   help="also report per-step verdicts and overall "
+                   "streamability for every catalog algorithm")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="show per-finding detail under each operation")
+    p.set_defaults(fn=_cmd_streamable)
 
     p = sub.add_parser(
         "bench-perf",

@@ -37,7 +37,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
-from repro.core.errors import PipelineError
+from repro.core.errors import PipelineError, TemplateError
 from repro.core.pipeline import OperationCall, Pipeline, SOURCE_NAME
 from repro.core.profiling import OperationProfile, ProfileReport
 from repro.core.types import ValueType, check_type, infer_type_info
@@ -105,6 +105,66 @@ def _vector_refusal(operation, inputs):
         if info.dtype == "object":
             return "object-dtype-input"
     return None
+
+
+def _stream_refusal(operation):
+    """Why ``run_stream`` must not chunk this step, or ``None``.
+
+    The streaming analyzer's verdict gates exactly like the purity and
+    vectorization verdicts do: batch-only/opaque ops, declaration
+    drift, and unbounded carried state all refuse (L041-L048); proven
+    stateful verdicts additionally need a registered ``stream_fn``.
+    """
+    from repro.analysis.streamable import operation_stream_report
+
+    return operation_stream_report(operation).refusal
+
+
+def _carried_state_bytes(states: dict) -> int:
+    """Recursive in-memory size of the carried stream state, for spans."""
+    import sys
+
+    import numpy as _np
+
+    seen: set[int] = set()
+
+    def size_of(obj) -> int:
+        oid = id(obj)
+        if oid in seen:
+            return 0
+        seen.add(oid)
+        total = sys.getsizeof(obj, 0)
+        if isinstance(obj, _np.ndarray):
+            return total + int(obj.nbytes)
+        if isinstance(obj, dict):
+            for key, value in obj.items():
+                total += size_of(key) + size_of(value)
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            for item in obj:
+                total += size_of(item)
+        elif hasattr(obj, "__dict__"):
+            total += size_of(vars(obj))
+        elif hasattr(obj, "__slots__"):
+            for slot in obj.__slots__:
+                total += size_of(getattr(obj, slot, None))
+        return total
+
+    return size_of(states)
+
+
+def _concat_stream_parts(name: str, parts: list):
+    """Concatenate one output's per-chunk values into the batch shape."""
+    import numpy as _np
+
+    first = parts[0]
+    if isinstance(first, _np.ndarray):
+        return _np.concatenate(parts, axis=0)
+    if isinstance(first, PacketTable):
+        return PacketTable.concat(parts)
+    raise TemplateError(
+        f"cannot concatenate streamed output {name!r} of type "
+        f"{type(first).__name__}"
+    )
 
 
 class _ResultCache:
@@ -397,6 +457,127 @@ class ExecutionEngine:
         if missing:
             raise KeyError(f"pipeline never produced outputs: {missing}")
         return {name: env[name] for name in wanted}
+
+    # ------------------------------------------------------------------
+
+    def run_stream(
+        self,
+        pipeline: Pipeline,
+        source: PacketTable,
+        *,
+        chunk_seconds: float,
+        outputs: list[str] | None = None,
+        source_token: str | None = None,
+    ) -> dict[str, Any]:
+        """Execute the pipeline chunk by chunk with carried state.
+
+        Generalizes the hand-written detectors in
+        :mod:`repro.core.streaming`: the time-ordered trace is split
+        into ``chunk_seconds`` windows (as a capture loop would deliver
+        them) and every step runs once per chunk -- through its
+        registered ``stream_fn`` with a persistent per-step state dict
+        when it has one, or its plain body when the step is proven
+        stateless.  Per-chunk outputs concatenate to the requested
+        values, equal to :meth:`run` on the time-sorted trace.
+
+        Nothing unproven streams: any step the streaming analyzer
+        refuses (batch-only verdict, declaration drift, unbounded
+        state, missing stream body) aborts before the first chunk, with
+        the reasons recorded on the ``run_stream`` span
+        (``stream_refused``) and the refusal counter.
+        """
+        from repro.analysis import analyze_pipeline
+        from repro.core.streaming import chunked
+
+        analyze_pipeline(pipeline).raise_if_errors()
+
+        wanted = outputs if outputs is not None else [pipeline.output_name]
+        token = source_token or fingerprint_table(source)
+        refusals = [
+            f"{call.name}:{refusal}"
+            for call in pipeline.calls
+            for refusal in (_stream_refusal(call.operation),)
+            if refusal is not None
+        ]
+        tracer = get_tracer()
+        with tracer.span(
+            "run_stream",
+            source=token,
+            steps=len(pipeline.calls),
+            chunk_seconds=float(chunk_seconds),
+            outputs=",".join(wanted),
+        ) as run_span:
+            if refusals:
+                reason = ";".join(refusals)
+                run_span.set("stream_refused", reason)
+                METRICS.counter(
+                    metric_names.STREAM_REFUSALS,
+                    "steps refused by the streaming-safety gate",
+                ).inc(len(refusals))
+                raise TemplateError(
+                    f"pipeline is not proven streamable: {reason}"
+                )
+            ordered = source.sort_by_time()
+            states: dict[int, dict] = {
+                index: {} for index in range(len(pipeline.calls))
+            }
+            collected: dict[str, list] = {name: [] for name in wanted}
+            chunks = 0
+            for chunk_index, chunk in enumerate(
+                chunked(ordered, chunk_seconds)
+            ):
+                with tracer.span(
+                    "stream_chunk",
+                    parent=run_span,
+                    chunk=chunk_index,
+                    rows=len(chunk),
+                ) as chunk_span:
+                    env: dict[str, Any] = {SOURCE_NAME: chunk}
+                    for index, call in enumerate(pipeline.calls):
+                        inputs = [env[name] for name in call.inputs]
+                        for value, expected in zip(
+                            inputs, call.operation.input_types
+                        ):
+                            check_type(
+                                value, expected, f"operation {call.name!r}"
+                            )
+                        try:
+                            if call.operation.stream_fn is not None:
+                                result = call.operation.stream_fn(
+                                    inputs, call.params, states[index]
+                                )
+                            else:
+                                result = call.operation.fn(
+                                    inputs, call.params
+                                )
+                        except Exception as exc:
+                            raise PipelineError(
+                                call.name, index, exc
+                            ) from exc
+                        env[call.output] = result
+                        METRICS.counter(
+                            metric_names.STREAM_STEPS,
+                            "pipeline steps executed in chunked stream "
+                            "mode",
+                        ).inc()
+                    missing = [name for name in wanted if name not in env]
+                    if missing:
+                        raise KeyError(
+                            f"pipeline never produced outputs: {missing}"
+                        )
+                    for name in wanted:
+                        collected[name].append(env[name])
+                    chunk_span.set(
+                        "state_bytes", _carried_state_bytes(states)
+                    )
+                chunks += 1
+            run_span.set("chunks", chunks)
+        if chunks == 0:
+            raise TemplateError("run_stream needs a non-empty source")
+        return {
+            name: _concat_stream_parts(name, parts)
+            for name, parts in collected.items()
+        }
 
     # ------------------------------------------------------------------
 

@@ -64,6 +64,17 @@ from repro.net.headers import TCPFlags
 from repro.net.table import PACKET_COLUMNS, PacketTable
 
 OpFn = Callable[[list, dict], object]
+#: chunked implementation: ``fn(inputs, params, state)`` where ``state``
+#: is a per-step dict the engine persists across chunks of one stream
+StreamFn = Callable[[list, dict, dict], object]
+
+#: incrementality classes accepted by ``register_operation(stream=...)``
+#: (kept literal so the streamable analyzer stays standalone-loadable)
+STREAM_CLASSES = ("stateless", "prefix-mergeable", "window-bounded",
+                  "batch-only")
+
+#: symbolic carried-state budgets accepted by ``state_bound=``
+STATE_BOUNDS = ("O(1)", "O(window)", "O(flows)", "O(n)")
 
 
 @dataclass(frozen=True)
@@ -84,6 +95,15 @@ class Operation:
     #: the column whose ordering the op's output depends on, when the
     #: implementation is row-order sensitive (L038 gate)
     sort_key: str | None = None
+    #: declared incrementality class (one of :data:`STREAM_CLASSES`);
+    #: the streaming analyzer checks it against its inferred verdict
+    #: (L045 drift) before ``Engine.run_stream`` may chunk the op
+    stream: str | None = None
+    #: optional chunked implementation carrying state across chunks
+    stream_fn: StreamFn | None = None
+    #: declared carried-state budget (one of :data:`STATE_BOUNDS`);
+    #: exceeding it is an L048 error
+    state_bound: str | None = None
 
     def validate_params(self, params: dict) -> dict:
         """Check required params are present and fill defaults."""
@@ -122,12 +142,24 @@ def register_operation(
     optional_params: dict[str, Any] | None = None,
     description: str = "",
     sort_key: str | None = None,
+    stream: str | None = None,
+    state_bound: str | None = None,
 ) -> Callable[[OpFn], OpFn]:
     """Decorator registering a function as a framework operation."""
 
     def wrap(fn: OpFn) -> OpFn:
         if name in OPERATIONS:
             raise ValueError(f"operation {name!r} registered twice")
+        if stream is not None and stream not in STREAM_CLASSES:
+            raise ValueError(
+                f"operation {name!r}: stream={stream!r} is not one of "
+                f"{STREAM_CLASSES}"
+            )
+        if state_bound is not None and state_bound not in STATE_BOUNDS:
+            raise ValueError(
+                f"operation {name!r}: state_bound={state_bound!r} is "
+                f"not one of {STATE_BOUNDS}"
+            )
         OPERATIONS[name] = Operation(
             name=name,
             input_types=input_types,
@@ -137,6 +169,8 @@ def register_operation(
             optional_params=dict(optional_params or {}),
             description=description or (fn.__doc__ or "").strip(),
             sort_key=sort_key,
+            stream=stream,
+            state_bound=state_bound,
         )
         return fn
 
@@ -164,6 +198,41 @@ def register_batch(name: str) -> Callable[[OpFn], OpFn]:
                 f"operation {name!r} already has a batch implementation"
             )
         OPERATIONS[name] = dataclasses.replace(operation, batch=fn)
+        return fn
+
+    return wrap
+
+
+def register_stream(name: str) -> Callable[[StreamFn], StreamFn]:
+    """Decorator attaching a ``stream_fn=`` chunked body to an operation.
+
+    The stream body takes ``(inputs, params, state)`` where ``state``
+    is a dict the engine persists across the chunks of one stream.
+    Processing a time-ordered trace chunk by chunk must reproduce the
+    batch result byte for byte (any documented float tolerance lives
+    with the op).  The engine only selects the body when the streaming
+    analyzer's verdict matches the declared ``stream=`` class (anything
+    else is an L045 drift error), so the operation must declare
+    ``stream=`` first.
+    """
+
+    def wrap(fn: StreamFn) -> StreamFn:
+        operation = OPERATIONS.get(name)
+        if operation is None:
+            raise ValueError(
+                f"cannot attach stream implementation: operation "
+                f"{name!r} is not registered"
+            )
+        if operation.stream is None:
+            raise ValueError(
+                f"operation {name!r} must declare stream= before a "
+                f"stream implementation is attached"
+            )
+        if operation.stream_fn is not None:
+            raise ValueError(
+                f"operation {name!r} already has a stream implementation"
+            )
+        OPERATIONS[name] = dataclasses.replace(operation, stream_fn=fn)
         return fn
 
     return wrap
@@ -384,6 +453,8 @@ def _time_slice(inputs: list, params: dict) -> FlowTable:
     ValueType.FEATURES,
     required_params=("fields",),
     description="Per-packet numeric feature matrix from raw fields.",
+    stream="stateless",
+    state_bound="O(1)",
 )
 def _packet_fields(inputs: list, params: dict) -> np.ndarray:
     table: PacketTable = inputs[0]
@@ -399,6 +470,8 @@ def _packet_fields(inputs: list, params: dict) -> np.ndarray:
     (ValueType.PACKETS,),
     ValueType.FEATURES,
     description="One-hot encoding of the transport protocol per packet.",
+    stream="stateless",
+    state_bound="O(1)",
 )
 def _protocol_one_hot(inputs: list, params: dict) -> np.ndarray:
     table: PacketTable = inputs[0]
@@ -421,6 +494,23 @@ def _protocol_one_hot_batch(inputs: list, params: dict) -> np.ndarray:
     np.equal(table.proto, 1, out=out[:, 2], casting="unsafe")
     np.equal(table.l3, 0, out=out[:, 3], casting="unsafe")
     return out
+
+
+@register_stream("ProtocolOneHot")
+def _protocol_one_hot_stream(
+    inputs: list, params: dict, state: dict
+) -> np.ndarray:
+    # elementwise: per-chunk rows equal the batch rows, so chunked
+    # outputs concatenate to the batch matrix byte for byte
+    return _protocol_one_hot(inputs, params)
+
+
+@register_stream("PacketFields")
+def _packet_fields_stream(
+    inputs: list, params: dict, state: dict
+) -> np.ndarray:
+    # elementwise: no carried state, chunk concat == batch
+    return _packet_fields(inputs, params)
 
 
 @register_operation(
@@ -523,6 +613,8 @@ def _nprint_header_blocks(table: PacketTable, layers: list) -> list:
     description="nPrint-style aligned header-bit representation: one "
     "column per header bit of the selected layers; -1 where the layer "
     "is absent (here encoded as 0/1 with a presence column per layer).",
+    stream="stateless",
+    state_bound="O(1)",
 )
 def _nprint_encode(inputs: list, params: dict) -> np.ndarray:
     table: PacketTable = inputs[0]
@@ -574,6 +666,14 @@ def _nprint_encode_batch(inputs: list, params: dict) -> np.ndarray:
     return np.hstack(blocks) if blocks else np.empty((n, 0))
 
 
+@register_stream("NprintEncode")
+def _nprint_encode_stream(
+    inputs: list, params: dict, state: dict
+) -> np.ndarray:
+    # per-packet header bits carry no cross-packet state
+    return _nprint_encode(inputs, params)
+
+
 @register_operation(
     "KitsuneFeatures",
     (ValueType.PACKETS,),
@@ -582,11 +682,34 @@ def _nprint_encode_batch(inputs: list, params: dict) -> np.ndarray:
     description="Kitsune damped incremental statistics per packet "
     "(source/channel/socket groupings x decay rates).",
     sort_key="ts",
+    stream="prefix-mergeable",
+    state_bound="O(flows)",
 )
 def _kitsune_features(inputs: list, params: dict) -> np.ndarray:
     from repro.core.incstats import kitsune_packet_features
 
     return kitsune_packet_features(inputs[0], tuple(params["lambdas"]))
+
+
+@register_stream("KitsuneFeatures")
+def _kitsune_features_stream(
+    inputs: list, params: dict, state: dict
+) -> np.ndarray:
+    # Damped IncStat accumulators fold across chunks: replaying a
+    # time-ordered trace chunk by chunk reproduces the batch matrix
+    # byte for byte (the stream state applies the identical python-float
+    # update sequence the batch path uses).
+    from repro.core.incstats import (
+        KitsuneStreamState,
+        kitsune_packet_features_stream,
+    )
+
+    lambdas = tuple(params["lambdas"])
+    ks = state.get("kitsune")
+    if ks is None:
+        ks = KitsuneStreamState(lambdas)
+        state["kitsune"] = ks
+    return kitsune_packet_features_stream(inputs[0], lambdas, ks)
 
 
 _AGGREGATE_SIMPLE = frozenset(
@@ -930,6 +1053,8 @@ def _select_columns(inputs: list, params: dict) -> np.ndarray:
     (ValueType.ANY,),
     ValueType.LABELS,
     description="Ground-truth labels of the input packets or flows.",
+    stream="stateless",
+    state_bound="O(1)",
 )
 def _labels(inputs: list, params: dict) -> np.ndarray:
     source = inputs[0]
@@ -938,6 +1063,12 @@ def _labels(inputs: list, params: dict) -> np.ndarray:
     if isinstance(source, FlowTable):
         return source.labels.astype(np.int64)
     raise TemplateError("Labels expects packets or flows")
+
+
+@register_stream("Labels")
+def _labels_stream(inputs: list, params: dict, state: dict) -> np.ndarray:
+    # per-row lookup: chunked label vectors concatenate to the batch one
+    return _labels(inputs, params)
 
 
 # ----------------------------------------------------------------------

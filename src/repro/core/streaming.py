@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.incstats import DEFAULT_LAMBDAS, IncStat
+from repro.core.incstats import DEFAULT_LAMBDAS, KitsuneStreamState
 from repro.net.table import PacketTable
 
 
@@ -48,13 +48,15 @@ class StreamingKitsune:
         model,
         threshold: float,
         lambdas: tuple[float, ...] = DEFAULT_LAMBDAS,
+        max_idle: float = 3600.0,
     ) -> None:
         self._model = model
         self._threshold = threshold
-        self._lambdas = lambdas
-        # streams[(kind, key, lam)] -> IncStat ; last_seen for IATs
-        self._streams: dict[tuple, IncStat] = {}
-        self._last_seen: dict[tuple, float] = {}
+        self._lambdas = tuple(lambdas)
+        # the same carried accumulators the engine's run_stream mode
+        # uses for the KitsuneFeatures op, shared via incstats
+        self._state = KitsuneStreamState(self._lambdas)
+        self.max_idle = max_idle
 
     @classmethod
     def train(
@@ -79,46 +81,19 @@ class StreamingKitsune:
 
     # ------------------------------------------------------------------
 
-    def _update(self, kind: str, key, lam: float, t: float, value: float) -> IncStat:
-        stream_key = (kind, key, lam)
-        stream = self._streams.get(stream_key)
-        if stream is None:
-            stream = IncStat(lam)
-            self._streams[stream_key] = stream
-        stream.update(t, value)
-        return stream
-
-    def _packet_features(self, table: PacketTable, i: int) -> list[float]:
-        non_ip = table.l3[i] == 0
-        src = int(table.src_mac[i] if non_ip else table.src_ip[i])
-        dst = int(table.dst_mac[i] if non_ip else table.dst_ip[i])
-        channel = (src, dst)
-        socket = (src, dst, int(table.src_port[i]), int(table.dst_port[i]),
-                  int(table.proto[i]))
-        t = float(table.ts[i])
-        size = float(table.length[i])
-        out: list[float] = []
-        for lam in self._lambdas:
-            for kind, key in (("src", src), ("chan", channel),
-                              ("sock", socket)):
-                stream = self._update(kind, key, lam, t, size)
-                out.extend((stream.w, stream.mean, stream.std))
-            gap_key = ("iat", src, lam)
-            gap = t - self._last_seen.get(gap_key, t)
-            self._last_seen[gap_key] = t
-            stream = self._update("iat", src, lam, t, gap)
-            out.extend((stream.w, stream.mean, stream.std))
-        return out
-
     def process_chunk(self, chunk: PacketTable) -> list[StreamVerdict]:
-        """Score one chunk of packets; state persists across calls."""
+        """Score one chunk of packets; state persists across calls.
+
+        Hosts idle longer than ``max_idle`` are evicted at chunk end,
+        bounding the carried state on long-running captures (see
+        :meth:`KitsuneStreamState.evict_idle` for the documented score
+        tolerance).
+        """
         if len(chunk) == 0:
             return []
-        features = np.array(
-            [self._packet_features(chunk, i) for i in range(len(chunk))]
-        )
+        features = self._state.features(chunk)
         scores = self._model.score_samples(features)
-        return [
+        verdicts = [
             StreamVerdict(
                 timestamp=float(chunk.ts[i]),
                 score=float(scores[i]),
@@ -129,6 +104,8 @@ class StreamingKitsune:
             )
             for i in range(len(chunk))
         ]
+        self._state.evict_idle(float(chunk.ts.max()), self.max_idle)
+        return verdicts
 
 
 @dataclass

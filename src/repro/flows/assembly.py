@@ -19,6 +19,19 @@ from repro.net.table import PacketTable
 DEFAULT_TIMEOUT = 3600.0
 
 
+def _validate_bounds(timeout: float, window: float | None = None) -> None:
+    """Shared bounds validation for every assemble entry point.
+
+    Historically only :func:`assemble_pairs` checked its window; now
+    every assembler (and the :func:`assemble_flows` dispatch) rejects
+    non-positive windows and timeouts with the same message.
+    """
+    if timeout <= 0:
+        raise ValueError("timeout must be positive")
+    if window is not None and window <= 0:
+        raise ValueError("window must be positive")
+
+
 def _group(
     table: PacketTable,
     key_columns: list[np.ndarray],
@@ -86,6 +99,7 @@ def assemble_unidirectional(
     Non-IP packets (e.g. ARP, raw 802.11 frames) are grouped by their
     MAC endpoints instead so no traffic is silently dropped.
     """
+    _validate_bounds(timeout)
     src_mac, dst_mac = _masked_macs(table)
     key_columns = [
         table.l3,
@@ -132,6 +146,7 @@ def assemble_connections(
     packet) first, and ``forward`` marks packets travelling
     initiator -> responder.
     """
+    _validate_bounds(timeout)
     # Canonical endpoint ordering: the numerically smaller (ip, port)
     # endpoint becomes endpoint A regardless of packet direction.
     src_endpoint = table.src_ip.astype(np.uint64) << np.uint64(16)
@@ -204,10 +219,9 @@ def assemble_pairs(
     With ``window`` set, each pair is further sliced into fixed windows
     of that many seconds (the per-window vectors are A11's samples).
     """
+    _validate_bounds(timeout, window)
     key_columns: list[np.ndarray] = [table.l3, table.src_ip, table.dst_ip]
     if window is not None:
-        if window <= 0:
-            raise ValueError("window must be positive")
         key_columns.append((table.ts // window).astype(np.int64))
     order, starts, counts = _group(table, key_columns, timeout)
     labels, attack_ids = _flow_labels(table, order, starts, counts)
@@ -231,6 +245,7 @@ def assemble_flows(
     window: float | None = None,
 ) -> FlowTable:
     """Dispatch to the assembler matching ``granularity``."""
+    _validate_bounds(timeout, window)
     if granularity is Granularity.UNI_FLOW:
         return assemble_unidirectional(table, timeout)
     if granularity is Granularity.CONNECTION:

@@ -63,6 +63,8 @@ FAULTS_INJECTED = "faults_injected_total"
 VECTORIZED_STEPS = "engine_vectorized_steps_total"
 VECTOR_REFUSALS = "engine_vector_refusals_total"
 PROGRESS_EVENTS = "bench_progress_events_total"
+STREAM_STEPS = "engine_stream_steps_total"
+STREAM_REFUSALS = "engine_stream_refusals_total"
 
 
 class Counter:

@@ -4,6 +4,12 @@ import numpy as np
 import pytest
 
 from repro.algorithms import build_algorithm
+from repro.core.incstats import (
+    KitsuneStreamState,
+    kitsune_packet_features,
+    kitsune_packet_features_stream,
+)
+from repro.core.operations import OPERATIONS
 from repro.core.streaming import (
     StreamingFlowDetector,
     StreamingKitsune,
@@ -92,6 +98,101 @@ class TestStreamingKitsune:
         assert detector.process_chunk(PacketTable.empty()) == []
 
 
+class TestKitsuneStreamState:
+    """Chunk-boundary invariance of the carried Kitsune statistics."""
+
+    LAMBDAS = (1.0, 0.1)
+
+    def batch(self, table):
+        return kitsune_packet_features(table, self.LAMBDAS)
+
+    def streamed(self, table, chunks):
+        state = KitsuneStreamState(self.LAMBDAS)
+        parts = [
+            kitsune_packet_features_stream(chunk, self.LAMBDAS, state)
+            for chunk in chunks
+        ]
+        return np.concatenate(parts, axis=0)
+
+    def test_single_packet_chunks_match_batch(self, benign_trace):
+        table = benign_trace.sort_by_time().select(np.arange(120))
+        chunks = [table.select(np.array([i])) for i in range(len(table))]
+        assert np.array_equal(self.batch(table), self.streamed(table, chunks))
+
+    def test_one_second_chunks_match_batch(self, benign_trace):
+        table = benign_trace.sort_by_time()
+        streamed = self.streamed(table, chunked(table, 1.0))
+        assert np.array_equal(self.batch(table), streamed)
+
+    def test_whole_trace_chunk_matches_batch(self, benign_trace):
+        table = benign_trace.sort_by_time()
+        streamed = self.streamed(table, [table])
+        assert np.array_equal(self.batch(table), streamed)
+
+    def test_stream_wrapper_validates_state(self, benign_trace):
+        with pytest.raises(TypeError):
+            kitsune_packet_features_stream(benign_trace, self.LAMBDAS, {})
+        state = KitsuneStreamState((1.0,))
+        with pytest.raises(ValueError):
+            kitsune_packet_features_stream(
+                benign_trace, self.LAMBDAS, state
+            )
+
+    def test_evict_idle_bounds_state(self, benign_trace):
+        table = benign_trace.sort_by_time()
+        state = KitsuneStreamState(self.LAMBDAS)
+        state.features(table)
+        populated = len(state)
+        assert populated > 0
+        # nothing is older than the trace itself
+        assert state.evict_idle(float(table.ts.max()), 3600.0) == 0
+        assert len(state) == populated
+        # everything is idle from far enough in the future
+        evicted = state.evict_idle(float(table.ts.max()) + 1e6, 3600.0)
+        assert evicted == populated
+        assert len(state) == 0
+
+    def test_state_survives_eviction(self, benign_trace):
+        table = benign_trace.sort_by_time()
+        state = KitsuneStreamState(self.LAMBDAS)
+        state.features(table)
+        state.evict_idle(float(table.ts.max()) + 1e6, 3600.0)
+        # an evicted stream restarts cleanly, like a fresh host
+        fresh = KitsuneStreamState(self.LAMBDAS)
+        assert np.array_equal(state.features(table), fresh.features(table))
+
+
+class TestConvertedOpStreams:
+    """Every op with a registered stream body is chunk-size invariant."""
+
+    CONVERTED = {
+        "ProtocolOneHot": {},
+        "PacketFields": {"fields": ["length", "ttl"]},
+        "NprintEncode": {"payload_bytes": 4},
+        "Labels": {},
+        "KitsuneFeatures": {"lambdas": [1.0, 0.1]},
+    }
+
+    @pytest.mark.parametrize("name", sorted(CONVERTED))
+    def test_chunked_stream_matches_batch(self, benign_trace, name):
+        operation = OPERATIONS[name]
+        assert operation.stream_fn is not None
+        table = benign_trace.sort_by_time().select(np.arange(200))
+        params = operation.validate_params(dict(self.CONVERTED[name]))
+        expected = operation.fn([table], params)
+        for splits in ([len(table)], [77, 123], [1] * len(table)):
+            state: dict = {}
+            parts, start = [], 0
+            for size in splits:
+                chunk = table.select(np.arange(start, start + size))
+                parts.append(
+                    operation.stream_fn([chunk], params, state)
+                )
+                start += size
+            streamed = np.concatenate(parts, axis=0)
+            assert np.array_equal(expected, streamed), (name, splits)
+
+
 class TestStreamingFlowDetector:
     @pytest.fixture(scope="class")
     def detector(self, attack_trace):
@@ -145,3 +246,48 @@ class TestStreamingFlowDetector:
         second = detector.process_chunk(table.select(table.ts >= 5.0))
         assert first == []  # flow still open after the first chunk
         assert len(second) == 1
+
+    def test_idle_timeout_evicts_under_out_of_order_timestamps(self):
+        # flow A goes idle; a later chunk arrives with its packets out
+        # of order (a fresh packet at t=50 *before* a straggler at t=3
+        # in delivery order).  The detector clock is the max timestamp
+        # seen, so flow A is evicted exactly once, and the straggler --
+        # already older than the timeout horizon -- is emitted
+        # immediately rather than buffered forever.
+        from repro.traffic.builder import TraceBuilder
+
+        builder = TraceBuilder()
+        builder.add_tcp(0.0, 1, 2, 4000, 80, 100)  # flow A
+        builder.add_tcp(2.0, 1, 2, 4000, 80, 100)  # flow A
+        builder.add_tcp(3.0, 3, 4, 5000, 80, 100)  # flow C (straggler)
+        builder.add_tcp(50.0, 5, 6, 6000, 80, 100)  # flow B (fresh)
+        table = builder.build(sort=False)
+
+        spec = build_algorithm("A15")
+        reference = NetworkScenario(
+            name="ref", device_counts={"smart_hub": 1}, duration=60.0, seed=1
+        ).generate()
+        X, y = spec.featurize(reference)
+        model = spec.build_model()
+        model.fit(X, y)
+
+        detector = StreamingFlowDetector(spec, model, timeout=30.0)
+        first = detector.process_chunk(
+            table.select(np.array([0, 1], dtype=np.int64))
+        )
+        assert first == []
+        # deliver t=50 before t=3 inside the second chunk
+        second = detector.process_chunk(
+            table.select(np.array([3, 2], dtype=np.int64))
+        )
+        assert sorted(v.src_ip for v in second) == [1, 3]
+        assert len([v for v in second if v.src_ip == 1]) == 1
+        # only the fresh flow stays open
+        assert len(detector._buffers) == 1
+        # a third chunk must not resurrect or re-emit the evicted flows
+        third = detector.process_chunk(
+            table.select(np.array([], dtype=np.int64))
+        )
+        assert third == []
+        detector.flush()
+        assert detector._buffers == {}

@@ -162,6 +162,57 @@ class TestPairs:
             assemble_pairs(two_way_session, window=0.0)
 
 
+class TestBoundsValidation:
+    """Every assemble entry point rejects non-positive windows/timeouts."""
+
+    @pytest.mark.parametrize("window", [0.0, -10.0])
+    def test_pairs_rejects_bad_window(self, two_way_session, window):
+        with pytest.raises(ValueError, match="window must be positive"):
+            assemble_pairs(two_way_session, window=window)
+
+    @pytest.mark.parametrize("window", [0.0, -10.0])
+    def test_dispatch_rejects_bad_window(self, two_way_session, window):
+        # the dispatch layer validates before routing, for every
+        # granularity -- not just the PAIR branch that uses the window
+        for granularity in (
+            Granularity.UNI_FLOW,
+            Granularity.CONNECTION,
+            Granularity.PAIR,
+        ):
+            with pytest.raises(ValueError, match="window must be positive"):
+                assemble_flows(two_way_session, granularity, window=window)
+
+    @pytest.mark.parametrize("timeout", [0.0, -1.0])
+    def test_unidirectional_rejects_bad_timeout(
+        self, two_way_session, timeout
+    ):
+        with pytest.raises(ValueError, match="timeout must be positive"):
+            assemble_unidirectional(two_way_session, timeout=timeout)
+
+    @pytest.mark.parametrize("timeout", [0.0, -1.0])
+    def test_connections_rejects_bad_timeout(self, two_way_session, timeout):
+        with pytest.raises(ValueError, match="timeout must be positive"):
+            assemble_connections(two_way_session, timeout=timeout)
+
+    @pytest.mark.parametrize("timeout", [0.0, -1.0])
+    def test_pairs_rejects_bad_timeout(self, two_way_session, timeout):
+        with pytest.raises(ValueError, match="timeout must be positive"):
+            assemble_pairs(two_way_session, timeout=timeout)
+
+    @pytest.mark.parametrize("timeout", [0.0, -1.0])
+    def test_dispatch_rejects_bad_timeout(self, two_way_session, timeout):
+        with pytest.raises(ValueError, match="timeout must be positive"):
+            assemble_flows(
+                two_way_session, Granularity.UNI_FLOW, timeout=timeout
+            )
+
+    def test_positive_bounds_still_pass(self, two_way_session):
+        flows = assemble_flows(
+            two_way_session, Granularity.PAIR, timeout=60.0, window=10.0
+        )
+        assert flows.granularity == Granularity.PAIR
+
+
 class TestDispatchAndSelect:
     def test_dispatch(self, two_way_session):
         for granularity in (

@@ -99,6 +99,59 @@ class TestJsonlRoundTrip:
         assert proc.returncode == 1
         assert "missing field" in proc.stdout or "type" in proc.stdout
 
+    def test_checker_accepts_stream_spans(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        tracer = Tracer(sinks=[JsonlFileSink(path)])
+        with tracer.span("run_stream", source="t", chunk_seconds=5.0) as run:
+            with tracer.span("stream_chunk", parent=run, chunk=0,
+                             rows=10, state_bytes=128):
+                pass
+            run.set("chunks", 1)
+        proc = subprocess.run(
+            [sys.executable, str(CHECKER), str(path)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout
+
+    def test_checker_accepts_refused_stream_run(self, tmp_path):
+        path = tmp_path / "refused.jsonl"
+        tracer = Tracer(sinks=[JsonlFileSink(path)])
+        with tracer.span("run_stream", source="t") as run:
+            run.set("stream_refused", "Downsample:verdict:batch-only")
+        proc = subprocess.run(
+            [sys.executable, str(CHECKER), str(path)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout
+
+    def test_checker_rejects_incomplete_stream_spans(self, tmp_path):
+        path = tmp_path / "bad_stream.jsonl"
+        tracer = Tracer(sinks=[JsonlFileSink(path)])
+        # stream_chunk without state_bytes; run_stream with neither a
+        # refusal reason nor a chunk count
+        with tracer.span("run_stream", source="t") as run:
+            with tracer.span("stream_chunk", parent=run, chunk=0, rows=10):
+                pass
+        proc = subprocess.run(
+            [sys.executable, str(CHECKER), str(path)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "state_bytes" in proc.stdout
+        assert "run_stream" in proc.stdout
+
+    def test_checker_rejects_empty_refusal_reason(self, tmp_path):
+        path = tmp_path / "empty_refusal.jsonl"
+        tracer = Tracer(sinks=[JsonlFileSink(path)])
+        with tracer.span("run_stream", source="t") as run:
+            run.set("stream_refused", "")
+        proc = subprocess.run(
+            [sys.executable, str(CHECKER), str(path)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "stream_refused" in proc.stdout
+
     def test_checker_rejects_empty_file(self, tmp_path):
         path = tmp_path / "empty.jsonl"
         path.write_text("")

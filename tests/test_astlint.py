@@ -433,6 +433,100 @@ class TestRowLoopGate:
         assert violations_for(tmp_path, source) == []
 
 
+class TestStreamStateGate:
+    HEADER = "from repro.core.operations import register_stream\n"
+
+    def test_leaky_stream_body_flagged(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            self.HEADER
+            + "@register_stream('X')\n"
+            "def _x_stream(inputs, params, state):\n"
+            "    rows = state.setdefault('rows', [])\n"
+            "    rows.append(inputs[0])\n"
+            "    return inputs[0]\n",
+        )
+        assert [v.code for v in found] == ["AL010"]
+        assert "carried stream state" in found[0].message
+
+    def test_stream_body_with_eviction_ok(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            self.HEADER
+            + "@register_stream('X')\n"
+            "def _x_stream(inputs, params, state):\n"
+            "    state[params['key']] = inputs[0]\n"
+            "    state.pop(params['old'], None)\n"
+            "    return inputs[0]\n",
+        )
+        assert found == []
+
+    def test_fixed_key_slot_ok(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            self.HEADER
+            + "@register_stream('X')\n"
+            "def _x_stream(inputs, params, state):\n"
+            "    ks = state.get('kitsune')\n"
+            "    if ks is None:\n"
+            "        ks = object()\n"
+            "        state['kitsune'] = ks\n"
+            "    return inputs[0]\n",
+        )
+        assert found == []
+
+    def test_leaky_detector_class_flagged(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "class LeakyDetector:\n"
+            "    def __init__(self):\n"
+            "        self._seen = {}\n"
+            "    def process_chunk(self, chunk):\n"
+            "        for key in chunk:\n"
+            "            self._seen[key] = chunk\n"
+            "        return []\n",
+        )
+        assert [v.code for v in found] == ["AL010"]
+        assert "bound their memory" in found[0].message
+
+    def test_detector_with_eviction_path_ok(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "class BoundedDetector:\n"
+            "    def __init__(self):\n"
+            "        self._seen = {}\n"
+            "    def _evict_expired(self, now):\n"
+            "        for key in list(self._seen):\n"
+            "            del self._seen[key]\n"
+            "    def process_chunk(self, chunk):\n"
+            "        for key in chunk:\n"
+            "            self._seen[key] = chunk\n"
+            "        self._evict_expired(0.0)\n"
+            "        return []\n",
+        )
+        assert found == []
+
+    def test_undecorated_state_function_not_checked(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def helper(inputs, params, state):\n"
+            "    state[params['key']] = inputs[0]\n"
+            "    return inputs[0]\n",
+        )
+        assert found == []
+
+    def test_pragma_disables_line(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            self.HEADER
+            + "@register_stream('X')\n"
+            "def _x_stream(inputs, params, state):\n"
+            "    state[params['key']] = inputs[0]  # astlint: disable\n"
+            "    return inputs[0]\n",
+        )
+        assert found == []
+
+
 class TestGate:
     def test_fixtures_directories_skipped(self, tmp_path):
         fixture_dir = tmp_path / "fixtures"

@@ -245,6 +245,83 @@ class TestVectorizeCommand:
             OPERATIONS.pop("VectorizeFixture", None)
 
 
+class TestStreamableCommand:
+    def test_table_lists_every_operation(self, capsys):
+        from repro.core.operations import OPERATIONS
+
+        assert main(["streamable"]) == 0
+        out = capsys.readouterr().out
+        for name in OPERATIONS:
+            assert name in out
+        assert "stateless" in out
+        assert "batch-only" in out
+
+    def test_json_payload(self, capsys):
+        assert main(["streamable", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        summary = payload["summary"]
+        assert summary["opaque"] == 0
+        assert summary["errors"] == 0
+        by_name = {
+            entry["operation"]: entry for entry in payload["operations"]
+        }
+        assert by_name["KitsuneFeatures"]["verdict"] == "prefix-mergeable"
+        assert by_name["KitsuneFeatures"]["stream_fn"] is True
+        assert by_name["SortByTime"]["verdict"] == "batch-only"
+
+    def test_json_is_byte_deterministic(self, capsys):
+        assert main(["streamable", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["streamable", "--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "streamable.json"
+        assert main(["streamable", "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["summary"]["total"] == len(payload["operations"])
+
+    def test_catalog_reports_per_template_streamability(self, capsys):
+        assert main(["streamable", "--json", "--catalog"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "A14" in payload["catalog"]
+        for entry in payload["catalog"].values():
+            assert set(entry) == {"steps", "streamable"}
+            for step in entry["steps"]:
+                assert set(step) == {
+                    "func", "verdict", "state_bound", "refusal"
+                }
+
+    def test_strict_clean_registry_passes(self, capsys):
+        assert main(["streamable", "--strict"]) == 0
+
+    def test_strict_fails_on_declaration_drift(self, capsys):
+        import numpy as np
+
+        from repro.core.operations import (
+            OPERATIONS,
+            register_operation,
+        )
+        from repro.core.types import ValueType
+
+        def _drifted(inputs, params):
+            order = np.argsort(inputs[0].ts)
+            return inputs[0].length[order].astype(
+                np.float64
+            ).reshape(-1, 1)
+
+        register_operation(
+            "StreamableFixture", (ValueType.PACKETS,),
+            ValueType.FEATURES, stream="stateless",
+        )(_drifted)
+        try:
+            assert main(["streamable", "--strict"]) == 1
+            captured = capsys.readouterr()
+            assert "L045" in captured.err
+        finally:
+            OPERATIONS.pop("StreamableFixture", None)
+
+
 class TestEvaluationCommands:
     def test_evaluate_same_dataset(self, capsys):
         assert main(["evaluate", "A14", "F0"]) == 0

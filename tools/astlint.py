@@ -47,12 +47,21 @@ Rules:
   declare a ``batch=`` numpy body so the engine can vectorize), or a
   Python row loop inside a ``@register_batch`` body itself (the batch
   path exists to *be* the vectorized one).
+* **AL010** -- unbounded carried-state growth in streaming code: a
+  ``@register_stream`` body or a class with a ``process_chunk`` method
+  that grows a carried container (``append``/``setdefault``/non-constant
+  ``dict[key] =`` on its state/``self`` attributes) with no eviction
+  path anywhere (``pop``/``del``/``clear`` on the same state, or a
+  method whose name mentions evict/expire/flush/timeout/prune).  Live
+  detectors must bound their memory; see
+  ``KitsuneStreamState.evict_idle`` and ``StreamingFlowDetector``.
 
 AL005/AL006 reuse the effect analyzer
-(``src/repro/analysis/effects.py``) and AL009 the vectorization
-analyzer (``src/repro/analysis/vectorize.py``) -- both are stdlib-only
-and loaded by file path, so this gate still imports nothing from the
-repo (and no numpy).
+(``src/repro/analysis/effects.py``), AL009 the vectorization analyzer
+(``src/repro/analysis/vectorize.py``), and AL010 the streaming-safety
+analyzer (``src/repro/analysis/streamable.py``) -- all stdlib-only and
+loaded by file path, so this gate still imports nothing from the repo
+(and no numpy).
 
 Paths whose components include ``fixtures`` are skipped, as is any
 line carrying an ``# astlint: disable`` comment.
@@ -126,6 +135,37 @@ def _load_vectorize():
 
 
 _vectorize = _load_vectorize()
+
+
+def _load_streamable():
+    """Load the streaming-safety analyzer by file path.
+
+    Must run after :func:`_load_vectorize`: ``streamable.py`` falls
+    back to ``from _astlint_vectorize import ...`` (and the effects
+    helpers) when loaded standalone.
+    """
+    if _vectorize is None:
+        return None
+    path = (
+        Path(__file__).resolve().parent.parent
+        / "src" / "repro" / "analysis" / "streamable.py"
+    )
+    if not path.exists():
+        return None
+    spec = importlib.util.spec_from_file_location("_astlint_streamable", path)
+    if spec is None or spec.loader is None:
+        return None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception:
+        sys.modules.pop(spec.name, None)
+        return None
+    return module
+
+
+_streamable = _load_streamable()
 
 #: np.random attributes that use the unseeded process-global RNG
 _LEGACY_NP_RANDOM = {
@@ -543,6 +583,46 @@ def _check_row_loops(tree: ast.AST, path: Path, out: list[Violation]) -> None:
                 break
 
 
+def _check_stream_growth(
+    tree: ast.AST, path: Path, out: list[Violation]
+) -> None:
+    """AL010: carried-state growth with no eviction in streaming code."""
+    if _streamable is None:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            if _decorator_call(node, "register_stream") is None:
+                continue
+            positional = [*node.args.posonlyargs, *node.args.args]
+            seeds = {positional[2].arg} if len(positional) > 2 else {"state"}
+            audit = _streamable.stream_state_audit(node, seeds)
+            if audit["growth"] and not audit["eviction"]:
+                line, detail = audit["growth"][0]
+                out.append(Violation(
+                    path, line, "AL010",
+                    f"{node.name}() grows carried stream state "
+                    f"({detail}) with no eviction/timeout path -- bound "
+                    f"the state or add eviction",
+                ))
+        elif isinstance(node, ast.ClassDef):
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+            if "process_chunk" not in methods:
+                continue
+            audit = _streamable.stream_state_audit(node, {"self"})
+            if audit["growth"] and not audit["eviction"]:
+                line, detail = audit["growth"][0]
+                out.append(Violation(
+                    path, line, "AL010",
+                    f"{node.name}.process_chunk carries state that "
+                    f"grows ({detail}) with no eviction/timeout path "
+                    f"-- live detectors must bound their memory",
+                ))
+
+
 def lint_file(path: Path) -> list[Violation]:
     source = path.read_text()
     try:
@@ -560,6 +640,7 @@ def lint_file(path: Path) -> list[Violation]:
     _check_exception_swallowing(tree, path, violations)
     _check_builtin_hash(tree, path, violations)
     _check_row_loops(tree, path, violations)
+    _check_stream_growth(tree, path, violations)
     disabled = {
         number
         for number, text in enumerate(source.splitlines(), start=1)

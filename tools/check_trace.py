@@ -9,7 +9,10 @@ trace id), that the file contains at least one span, and that every
 ``step:*`` span carries the resource attributes the engine's
 :class:`ResourceProbe` attaches (cpu_seconds, rss_peak_bytes,
 gc_collections; alloc_bytes/alloc_peak_bytes when memory tracking was
-on).
+on).  ``run_stream`` spans must carry either a non-empty
+``stream_refused`` reason or a ``chunks`` count, and every
+``stream_chunk`` span must carry its chunk index and the carried-state
+byte measurement.
 
 With ``--progress`` the file is instead validated as a matrix
 progress-event journal (``repro matrix --progress-file``): every line
@@ -101,6 +104,51 @@ def _check_resources(where: str, span: dict, problems: list[str]) -> None:
                             f"{type(value).__name__}")
 
 
+#: attrs every stream_chunk span must carry (chunked engine mode)
+_STREAM_CHUNK_ATTRS = {
+    "chunk": int,
+    "rows": int,
+    "state_bytes": int,
+}
+
+
+def _check_stream_chunk(where: str, span: dict, problems: list[str]) -> None:
+    attrs = span.get("attrs")
+    if not isinstance(attrs, dict):
+        return
+    for name, types in _STREAM_CHUNK_ATTRS.items():
+        value = attrs.get(name)
+        if value is None:
+            problems.append(f"{where}: stream_chunk span missing attr "
+                            f"{name!r}")
+        elif not isinstance(value, types) or isinstance(value, bool):
+            problems.append(f"{where}: stream attr {name!r} has type "
+                            f"{type(value).__name__}")
+        elif value < 0:
+            problems.append(f"{where}: stream attr {name!r} is negative")
+
+
+def _check_run_stream(where: str, span: dict, problems: list[str]) -> None:
+    """A run_stream span either refused visibly or counted its chunks."""
+    attrs = span.get("attrs")
+    if not isinstance(attrs, dict):
+        return
+    refused = attrs.get("stream_refused")
+    if refused is not None:
+        if not isinstance(refused, str) or not refused:
+            problems.append(f"{where}: stream_refused must be a "
+                            "non-empty string")
+        return
+    chunks = attrs.get("chunks")
+    if span.get("status") != "ok":
+        return  # an errored run may have died before counting
+    if not isinstance(chunks, int) or isinstance(chunks, bool):
+        problems.append(f"{where}: run_stream span carries neither "
+                        "stream_refused nor an int 'chunks' count")
+    elif chunks < 0:
+        problems.append(f"{where}: run_stream chunk count is negative")
+
+
 def check_file(path: Path) -> list[str]:
     problems: list[str] = []
     spans: dict[int, dict] = {}
@@ -152,6 +200,10 @@ def check_file(path: Path) -> list[str]:
             )
         if event["name"].startswith("step:"):
             _check_resources(where, event, problems)
+        elif event["name"] == "stream_chunk":
+            _check_stream_chunk(where, event, problems)
+        elif event["name"] == "run_stream":
+            _check_run_stream(where, event, problems)
         spans[event["span_id"]] = event
     if lines == 0:
         problems.append(f"{path}: trace is empty")
