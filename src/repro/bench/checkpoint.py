@@ -10,7 +10,10 @@ composing with the engine's featurization cache so a restarted 300-cell
 campaign costs seconds, not hours.
 
 A torn final line (the signature of a hard kill mid-write) is detected
-and ignored -- its cell simply re-runs.
+and ignored -- its cell simply re-runs.  The append/flush/torn-tail
+mechanics live in the generic :class:`JsonlJournal` so other durable
+logs (the serve daemon's checkpoint and quarantine journals) inherit
+the same crash semantics instead of reinventing them.
 """
 
 from __future__ import annotations
@@ -22,6 +25,71 @@ from pathlib import Path
 
 from repro.bench.results import EvaluationResult, FailureRecord
 from repro.obs import get_tracer
+
+
+class JsonlJournal:
+    """Append-only JSONL file with flush-per-line crash semantics.
+
+    Every record is one JSON object on one line, written and flushed
+    atomically with respect to this process; a hard kill can tear at
+    most the final line, which :func:`read_journal` detects and skips.
+    Records conventionally carry a ``"kind"`` field so mixed-record
+    journals stay self-describing.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def append(self, payload: dict) -> None:
+        line = json.dumps(payload, sort_keys=True)
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "JsonlJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path: str | Path) -> tuple[list[dict], int]:
+    """Parse a JSONL journal, tolerating a torn (killed-mid-write) tail.
+
+    Returns ``(records, torn_lines)``.  Unparseable lines are counted
+    and traced (``checkpoint.torn_line``) rather than raised: the only
+    expected corruption is the final line of a hard-killed process, and
+    the record it would have held is re-derivable by re-running the
+    work it described.
+    """
+    records: list[dict] = []
+    torn = 0
+    text = Path(path).read_text(encoding="utf-8")
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            torn += 1
+            get_tracer().event(
+                "checkpoint.torn_line", path=str(path), line=number
+            )
+            continue
+        records.append(payload)
+    return records, torn
 
 
 @dataclass
@@ -46,30 +114,16 @@ class CheckpointState:
         return self.succeeded | self.failed
 
 
-class CheckpointJournal:
+class CheckpointJournal(JsonlJournal):
     """Append-only JSONL journal of finished evaluation cells."""
-
-    def __init__(self, path: str | Path) -> None:
-        self.path = Path(path)
-        self._lock = threading.Lock()
-        self._handle = None
-
-    def _append(self, payload: dict) -> None:
-        line = json.dumps(payload, sort_keys=True)
-        with self._lock:
-            if self._handle is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._handle = self.path.open("a", encoding="utf-8")
-            self._handle.write(line + "\n")
-            self._handle.flush()
 
     def append_result(self, record: EvaluationResult) -> None:
         from dataclasses import asdict
 
-        self._append({"kind": "result", **asdict(record)})
+        self.append({"kind": "result", **asdict(record)})
 
     def append_failure(self, record: FailureRecord) -> None:
-        self._append({"kind": "failure", **record.to_dict()})
+        self.append({"kind": "failure", **record.to_dict()})
 
     def append_outcome(
         self, outcome: EvaluationResult | FailureRecord
@@ -79,39 +133,18 @@ class CheckpointJournal:
         else:
             self.append_result(outcome)
 
-    def close(self) -> None:
-        with self._lock:
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
-
     def __enter__(self) -> "CheckpointJournal":
         return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
 
     # ------------------------------------------------------------------
 
     @staticmethod
     def load(path: str | Path) -> CheckpointState:
         """Parse a journal, tolerating a torn (killed-mid-write) tail."""
-        state = CheckpointState()
-        text = Path(path).read_text(encoding="utf-8")
-        for number, line in enumerate(text.splitlines(), start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError:
-                # a hard kill can tear the very last line; anything
-                # before the tail is corruption worth surfacing
-                state.torn_lines += 1
-                get_tracer().event(
-                    "checkpoint.torn_line", path=str(path), line=number
-                )
-                continue
+        records, torn = read_journal(path)
+        state = CheckpointState(torn_lines=torn)
+        for payload in records:
+            payload = dict(payload)
             kind = payload.pop("kind", None)
             if kind == "result":
                 state.results.append(EvaluationResult(**payload))
@@ -120,6 +153,6 @@ class CheckpointJournal:
             else:
                 state.torn_lines += 1
                 get_tracer().event(
-                    "checkpoint.unknown_kind", path=str(path), line=number
+                    "checkpoint.unknown_kind", path=str(path), kind=kind
                 )
         return state

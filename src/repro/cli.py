@@ -755,12 +755,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    from repro.obs import get_metrics
+    from repro.obs import get_metrics, observe_uptime
 
     code = 0
     if args.run:
         code = main(list(args.run))
         print()
+    # counters are process-lifetime values; refresh the uptime gauge at
+    # render time so the exposition carries how long that lifetime is
+    observe_uptime()
     print(get_metrics().render_prometheus() or "(no metrics recorded)")
     return code
 
@@ -783,6 +786,137 @@ def _cmd_run_template(args: argparse.Namespace) -> int:
         print(f"{name}: {value}")
     print()
     print(engine.last_report.render())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeStatus
+
+    # query mode: render another daemon's status file as a readiness
+    # probe (0 alive, 3 stopped, 2 missing)
+    if args.status:
+        try:
+            status = ServeStatus.load(args.status)
+        except FileNotFoundError:
+            print(f"no status file at {args.status}", file=sys.stderr)
+            return 2
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"error: unreadable status file: {exc}", file=sys.stderr)
+            return 2
+        print(status.render())
+        return 0 if status.ready else 3
+
+    from repro.datasets import load_dataset
+    from repro.serve import (
+        MonotonicClock,
+        ReplayClock,
+        ServeConfig,
+        ServeDaemon,
+    )
+
+    if not args.dataset:
+        print("error: a dataset id is required (or use --status PATH)",
+              file=sys.stderr)
+        return 2
+    injector = None
+    if args.faults:
+        from repro.faults import FaultInjector, FaultPlan, install
+
+        try:
+            plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        injector = install(FaultInjector(plan))
+        print(f"fault injection active: {plan.describe()}")
+    try:
+        table = load_dataset(args.dataset)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        chunk_seconds=args.chunk_seconds,
+        pps=args.pps,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        retries=args.retries,
+        backoff_base=args.backoff_base,
+        stall_seconds=args.stall_seconds,
+        max_watchdog_restarts=args.max_watchdog_restarts,
+        chunk_deadline=args.chunk_deadline,
+        outputs=args.outputs.split(",") if args.outputs else None,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        quarantine_path=args.quarantine,
+        status_path=args.status_file,
+        results_path=args.out,
+        seed=args.seed,
+        max_chunks=args.max_chunks,
+        collect=args.verify_offline,
+        model=args.model,
+        model_cache=args.model_cache,
+        train_fraction=args.train_fraction,
+        epochs=args.epochs,
+    )
+    clock = ReplayClock() if args.virtual_time else MonotonicClock()
+    daemon = ServeDaemon(
+        table,
+        config=config,
+        template_path=args.template,
+        clock=clock,
+        dataset_id=args.dataset,
+    )
+
+    import signal
+
+    previous: dict = {}
+    if not args.virtual_time and hasattr(signal, "SIGHUP"):
+        previous[signal.SIGHUP] = signal.signal(
+            signal.SIGHUP, lambda *_: daemon.request_reload()
+        )
+        previous[signal.SIGTERM] = signal.signal(
+            signal.SIGTERM, lambda *_: daemon.request_stop()
+        )
+    try:
+        report = daemon.run()
+    finally:
+        for number, handler in previous.items():
+            signal.signal(number, handler)
+        if injector is not None:
+            from repro.faults import uninstall
+
+            uninstall()
+    summary = (
+        f"served {report.chunks_scored} chunk(s) over "
+        f"{report.packets_ingested}/{report.packets_total} packets "
+        f"in {report.uptime_seconds:.1f}s"
+    )
+    if config.model != "none":
+        summary += f" ({report.anomalies} anomalies)"
+    print(summary)
+    if report.chunks_quarantined or report.chunks_dropped:
+        print(
+            f"degraded: {report.chunks_quarantined} quarantined, "
+            f"{report.chunks_dropped} dropped "
+            f"({report.packets_lost} packets, journaled)"
+        )
+    if report.reloads or report.watchdog_restarts:
+        print(
+            f"recovered: {report.reloads} reload(s), "
+            f"{report.watchdog_restarts} watchdog restart(s)"
+        )
+    if not report.ok:
+        print(f"error: serve aborted: {report.reason}", file=sys.stderr)
+        return 1
+    if args.verify_offline:
+        verdict = daemon.verify_against_offline()
+        for name, equal in sorted(verdict.items()):
+            print(f"offline check {name}: {'byte-equal' if equal else 'MISMATCH'}")
+        if not all(verdict.values()):
+            print("error: daemon outputs diverge from offline run_stream",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -1073,6 +1207,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("run", nargs=argparse.REMAINDER,
                    help="optional repro command to run first")
     p.set_defaults(fn=_cmd_metrics)
+
+    p = sub.add_parser(
+        "serve",
+        help="fault-tolerant online detection daemon: replay a dataset "
+        "at a controlled rate and score it chunk by chunk")
+    p.add_argument("dataset", nargs="?", default=None,
+                   help="dataset id to replay (e.g. F0)")
+    p.add_argument("--template", default=None, metavar="PATH",
+                   help="streamable template to score with (default: "
+                   "built-in Kitsune feature template); re-read on SIGHUP")
+    p.add_argument("--chunk-seconds", type=float, default=2.0)
+    p.add_argument("--pps", type=float, default=0.0,
+                   help="replay rate in packets/second (<= 0: unpaced)")
+    p.add_argument("--queue-capacity", type=int, default=8)
+    p.add_argument("--policy", choices=["block", "drop-oldest"],
+                   default="block",
+                   help="backpressure policy when the ingest queue fills")
+    p.add_argument("--retries", type=int, default=2,
+                   help="scoring attempts per chunk beyond the first")
+    p.add_argument("--backoff-base", type=float, default=0.05)
+    p.add_argument("--stall-seconds", type=float, default=30.0,
+                   help="watchdog window: restart the scoring loop after "
+                   "this long with no progress")
+    p.add_argument("--max-watchdog-restarts", type=int, default=3)
+    p.add_argument("--chunk-deadline", type=float, default=None,
+                   help="wall-clock bound per scoring attempt (live mode)")
+    p.add_argument("--outputs", default=None,
+                   help="comma-separated template outputs to collect")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="torn-tail-tolerant checkpoint journal for crash "
+                   "recovery")
+    p.add_argument("--checkpoint-every", type=int, default=5,
+                   metavar="CHUNKS")
+    p.add_argument("--resume", action="store_true",
+                   help="resume replay offset and stream state from the "
+                   "newest checkpoint in --checkpoint")
+    p.add_argument("--quarantine", default=None, metavar="PATH",
+                   help="JSONL journal of quarantined/dropped chunks")
+    p.add_argument("--status-file", default=None, metavar="PATH",
+                   help="atomically rewritten JSON health file")
+    p.add_argument("--status", default=None, metavar="PATH",
+                   help="query mode: render a daemon's status file and "
+                   "exit (0 alive, 3 stopped, 2 missing)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="per-chunk results journal (JSONL)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-chunks", type=int, default=None,
+                   help="stop after this many handled chunks (smoke runs)")
+    p.add_argument("--model", choices=["none", "kitnet"], default="none",
+                   help="train a KitNET detector at startup and flag "
+                   "anomalous packets per chunk")
+    p.add_argument("--model-cache", default=None, metavar="PATH",
+                   help="pickle the trained model here / load it if present")
+    p.add_argument("--train-fraction", type=float, default=0.3)
+    p.add_argument("--epochs", type=int, default=5)
+    p.add_argument("--virtual-time", action="store_true",
+                   help="drive pacing/backoff/watchdog on a virtual clock "
+                   "(deterministic soak; sleeps cost nothing)")
+    p.add_argument("--verify-offline", action="store_true",
+                   help="after replay, prove the served outputs byte-equal "
+                   "an offline run_stream over the surviving rows")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="deterministic fault plan, e.g. "
+                   "'score_chunk:0.3,ingest:0.1'")
+    p.add_argument("--fault-seed", type=int, default=0)
+    _add_trace_flag(p)
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("synthesize", help="greedy AM synthesis (Sec. 5.4)")
     p.add_argument("--datasets", default="F0,F1,F4,F6")

@@ -25,7 +25,7 @@ from repro.core.errors import (
     TemplateError,
 )
 from repro.core.pipeline import Pipeline, OperationCall
-from repro.core.engine import ExecutionEngine
+from repro.core.engine import ExecutionEngine, StreamSession, StreamSnapshot
 from repro.core.operations import (
     OPERATIONS,
     Operation,
@@ -51,6 +51,8 @@ __all__ = [
     "Pipeline",
     "OperationCall",
     "ExecutionEngine",
+    "StreamSession",
+    "StreamSnapshot",
     "OPERATIONS",
     "Operation",
     "register_batch",

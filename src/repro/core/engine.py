@@ -29,12 +29,14 @@ after each parallel wave (or run concurrently anyway under the
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.errors import PipelineError, TemplateError
@@ -351,6 +353,235 @@ class _ResultCache:
             return len(self._store)
 
 
+@dataclass
+class StreamSnapshot:
+    """A restorable copy of a stream session's carried state.
+
+    Snapshots are deep copies: restoring one rewinds the session to the
+    exact chunk boundary it was taken at, and the same snapshot can be
+    restored more than once (a retry loop restores before every
+    attempt).  The ``fingerprints`` map records which (operation,
+    params) pair produced each step's state so a restore into a
+    *different* pipeline is refused instead of silently corrupting.
+    """
+
+    chunk_index: int
+    states: dict[int, dict]
+    fingerprints: dict[int, str] = field(default_factory=dict)
+
+
+class StreamSession:
+    """An incremental handle on chunked pipeline execution.
+
+    Where :meth:`ExecutionEngine.run_stream` owns the whole chunk loop,
+    a session exposes it one :meth:`process_chunk` at a time -- the
+    shape a long-running consumer (``repro serve``) needs: the caller
+    decides when the next chunk arrives, and the carried per-step state
+    lives here between calls.
+
+    The robustness hooks are the point:
+
+    * :meth:`snapshot` / :meth:`restore` -- deep-copied state capture,
+      so a failed or timed-out chunk can be retried (or abandoned)
+      without poisoning the carried accumulators;
+    * :meth:`adopt_state` -- graceful-reload handoff: a freshly built
+      session (new model, re-read template) takes over the old
+      session's carried state at a chunk boundary, but only for steps
+      the streaming analyzer proves safe to hand over (same operation,
+      same params, proven state bound).
+
+    Nothing unproven streams: construction computes the same refusals
+    :meth:`~ExecutionEngine.run_stream` enforces, and
+    :meth:`raise_if_refused` raises before the first chunk.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        *,
+        outputs: list[str] | None = None,
+        source_token: str | None = None,
+    ) -> None:
+        from repro.analysis import analyze_pipeline
+
+        analyze_pipeline(pipeline).raise_if_errors()
+        self.pipeline = pipeline
+        self.outputs = (
+            list(outputs) if outputs is not None else [pipeline.output_name]
+        )
+        self.source_token = source_token
+        self.refusals = [
+            f"{call.name}:{refusal}"
+            for call in pipeline.calls
+            for refusal in (_stream_refusal(call.operation),)
+            if refusal is not None
+        ]
+        self.chunks = 0
+        self._states: dict[int, dict] = {
+            index: {} for index in range(len(pipeline.calls))
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def refusal_reason(self) -> str | None:
+        return ";".join(self.refusals) if self.refusals else None
+
+    def raise_if_refused(self, span=None) -> None:
+        """Refuse visibly: span attr + counter + ``TemplateError``."""
+        if not self.refusals:
+            return
+        reason = self.refusal_reason
+        if span is not None:
+            span.set("stream_refused", reason)
+        METRICS.counter(
+            metric_names.STREAM_REFUSALS,
+            "steps refused by the streaming-safety gate",
+        ).inc(len(self.refusals))
+        raise TemplateError(f"pipeline is not proven streamable: {reason}")
+
+    def _step_fingerprint(self, index: int) -> str:
+        call = self.pipeline.calls[index]
+        return f"{call.name}({_params_token(call.params)})"
+
+    # ------------------------------------------------------------------
+
+    def process_chunk(self, chunk: PacketTable, *, parent=None) -> dict:
+        """Run every step once over ``chunk`` with carried state.
+
+        Returns ``{output name: value}`` for the session's outputs.
+        State mutation is *not* transactional: an exception can leave
+        carried accumulators partially advanced, which is why callers
+        that retry must :meth:`snapshot` first and :meth:`restore` on
+        failure.
+        """
+        self.raise_if_refused()
+        tracer = get_tracer()
+        with tracer.span(
+            "stream_chunk",
+            parent=parent,
+            chunk=self.chunks,
+            rows=len(chunk),
+        ) as chunk_span:
+            env: dict[str, Any] = {SOURCE_NAME: chunk}
+            for index, call in enumerate(self.pipeline.calls):
+                inputs = [env[name] for name in call.inputs]
+                for value, expected in zip(
+                    inputs, call.operation.input_types
+                ):
+                    check_type(value, expected, f"operation {call.name!r}")
+                try:
+                    if call.operation.stream_fn is not None:
+                        result = call.operation.stream_fn(
+                            inputs, call.params, self._states[index]
+                        )
+                    else:
+                        result = call.operation.fn(inputs, call.params)
+                except Exception as exc:
+                    raise PipelineError(call.name, index, exc) from exc
+                env[call.output] = result
+                METRICS.counter(
+                    metric_names.STREAM_STEPS,
+                    "pipeline steps executed in chunked stream mode",
+                ).inc()
+            missing = [name for name in self.outputs if name not in env]
+            if missing:
+                raise KeyError(f"pipeline never produced outputs: {missing}")
+            chunk_span.set("state_bytes", _carried_state_bytes(self._states))
+        self.chunks += 1
+        return {name: env[name] for name in self.outputs}
+
+    # ------------------------------------------------------------------
+
+    def state_bytes(self) -> int:
+        """Current in-memory size of the carried state (for health)."""
+        return _carried_state_bytes(self._states)
+
+    def snapshot(self) -> StreamSnapshot:
+        """A deep-copied, restorable capture of the carried state."""
+        return StreamSnapshot(
+            chunk_index=self.chunks,
+            states=copy.deepcopy(self._states),
+            fingerprints={
+                index: self._step_fingerprint(index)
+                for index in self._states
+            },
+        )
+
+    def restore(self, snapshot: StreamSnapshot) -> None:
+        """Rewind to ``snapshot``; the snapshot stays reusable."""
+        expected = {
+            index: self._step_fingerprint(index) for index in self._states
+        }
+        if snapshot.fingerprints and snapshot.fingerprints != expected:
+            raise TemplateError(
+                "stream snapshot does not match this pipeline "
+                "(operation/params drift); rebuild the session instead "
+                "of restoring across templates"
+            )
+        self.chunks = snapshot.chunk_index
+        self._states = copy.deepcopy(snapshot.states)
+
+    # ------------------------------------------------------------------
+
+    def adopt_state(self, old: "StreamSession") -> dict[str, str]:
+        """Carry the old session's state across a graceful reload.
+
+        For each step of *this* session, the old session's state is
+        handed over only when every rule holds:
+
+        * the step exists at the same position with the same operation
+          and params (the state ABI is the (op, params) pair);
+        * the operation is stateless (nothing to carry), or the
+          streaming analyzer proves a finite state bound
+          (``O(1)``/``O(window)``/``O(flows)`` -- never ``O(n)``), so a
+          reload can never adopt state the analyzer could not bound.
+
+        Returns ``{step name: disposition}`` where disposition is
+        ``carried``, ``stateless``, or a ``fresh:<reason>`` explaining
+        why the step restarted with empty state.  Chunk numbering
+        continues from the old session either way (the reload happens
+        at a chunk boundary, not at packet zero).
+        """
+        from repro.analysis.streamable import (
+            BOUND_ORDER,
+            operation_stream_report,
+        )
+
+        report: dict[str, str] = {}
+        old_prints = {
+            index: old._step_fingerprint(index) for index in old._states
+        }
+        for index, call in enumerate(self.pipeline.calls):
+            if call.operation.stream_fn is None:
+                report[call.name] = "stateless"
+                continue
+            mine = self._step_fingerprint(index)
+            if old_prints.get(index) != mine:
+                report[call.name] = "fresh:step-changed"
+                continue
+            stream_report = operation_stream_report(call.operation)
+            bound = stream_report.state_bound
+            if bound not in BOUND_ORDER or bound == "O(n)":
+                report[call.name] = f"fresh:unbounded-state[{bound}]"
+                continue
+            self._states[index] = copy.deepcopy(old._states[index])
+            report[call.name] = "carried"
+        self.chunks = old.chunks
+        return report
+
+    def close(self) -> None:
+        """Release the carried per-step state.
+
+        A long-running service that swaps sessions on reload calls
+        this on the retired session so its stream accumulators (flow
+        tables, damped statistics) are freed immediately instead of
+        lingering until garbage collection.  The session must not
+        process further chunks afterwards.
+        """
+        self._states.clear()
+
+
 #: value types worth caching across runs (models are re-trained so
 #: hyperparameter seeds behave; metrics are trivially recomputed)
 _CACHEABLE = {
@@ -486,19 +717,13 @@ class ExecutionEngine:
         the reasons recorded on the ``run_stream`` span
         (``stream_refused``) and the refusal counter.
         """
-        from repro.analysis import analyze_pipeline
         from repro.core.streaming import chunked
 
-        analyze_pipeline(pipeline).raise_if_errors()
-
-        wanted = outputs if outputs is not None else [pipeline.output_name]
-        token = source_token or fingerprint_table(source)
-        refusals = [
-            f"{call.name}:{refusal}"
-            for call in pipeline.calls
-            for refusal in (_stream_refusal(call.operation),)
-            if refusal is not None
-        ]
+        session = self.open_stream(
+            pipeline, outputs=outputs, source_token=source_token
+        )
+        token = session.source_token or fingerprint_table(source)
+        wanted = session.outputs
         tracer = get_tracer()
         with tracer.span(
             "run_stream",
@@ -507,77 +732,39 @@ class ExecutionEngine:
             chunk_seconds=float(chunk_seconds),
             outputs=",".join(wanted),
         ) as run_span:
-            if refusals:
-                reason = ";".join(refusals)
-                run_span.set("stream_refused", reason)
-                METRICS.counter(
-                    metric_names.STREAM_REFUSALS,
-                    "steps refused by the streaming-safety gate",
-                ).inc(len(refusals))
-                raise TemplateError(
-                    f"pipeline is not proven streamable: {reason}"
-                )
+            session.raise_if_refused(run_span)
             ordered = source.sort_by_time()
-            states: dict[int, dict] = {
-                index: {} for index in range(len(pipeline.calls))
-            }
             collected: dict[str, list] = {name: [] for name in wanted}
-            chunks = 0
-            for chunk_index, chunk in enumerate(
-                chunked(ordered, chunk_seconds)
-            ):
-                with tracer.span(
-                    "stream_chunk",
-                    parent=run_span,
-                    chunk=chunk_index,
-                    rows=len(chunk),
-                ) as chunk_span:
-                    env: dict[str, Any] = {SOURCE_NAME: chunk}
-                    for index, call in enumerate(pipeline.calls):
-                        inputs = [env[name] for name in call.inputs]
-                        for value, expected in zip(
-                            inputs, call.operation.input_types
-                        ):
-                            check_type(
-                                value, expected, f"operation {call.name!r}"
-                            )
-                        try:
-                            if call.operation.stream_fn is not None:
-                                result = call.operation.stream_fn(
-                                    inputs, call.params, states[index]
-                                )
-                            else:
-                                result = call.operation.fn(
-                                    inputs, call.params
-                                )
-                        except Exception as exc:
-                            raise PipelineError(
-                                call.name, index, exc
-                            ) from exc
-                        env[call.output] = result
-                        METRICS.counter(
-                            metric_names.STREAM_STEPS,
-                            "pipeline steps executed in chunked stream "
-                            "mode",
-                        ).inc()
-                    missing = [name for name in wanted if name not in env]
-                    if missing:
-                        raise KeyError(
-                            f"pipeline never produced outputs: {missing}"
-                        )
-                    for name in wanted:
-                        collected[name].append(env[name])
-                    chunk_span.set(
-                        "state_bytes", _carried_state_bytes(states)
-                    )
-                chunks += 1
-            run_span.set("chunks", chunks)
-        if chunks == 0:
+            for chunk in chunked(ordered, chunk_seconds):
+                out = session.process_chunk(chunk, parent=run_span)
+                for name in wanted:
+                    collected[name].append(out[name])
+            run_span.set("chunks", session.chunks)
+        if session.chunks == 0:
             raise TemplateError("run_stream needs a non-empty source")
         return {
             name: _concat_stream_parts(name, parts)
             for name, parts in collected.items()
         }
+
+    def open_stream(
+        self,
+        pipeline: Pipeline,
+        *,
+        outputs: list[str] | None = None,
+        source_token: str | None = None,
+    ) -> StreamSession:
+        """An incremental :class:`StreamSession` over ``pipeline``.
+
+        The caller owns the chunk loop: feed time-ordered chunks to
+        :meth:`StreamSession.process_chunk` as they arrive, snapshot
+        and restore around risky work, and hand state over to a new
+        session on graceful reload.  :meth:`run_stream` is exactly this
+        session driven by :func:`repro.core.streaming.chunked`.
+        """
+        return StreamSession(
+            pipeline, outputs=outputs, source_token=source_token
+        )
 
     # ------------------------------------------------------------------
 

@@ -1,7 +1,9 @@
 """Deterministic fault plans: *where* and *how often* to break things.
 
 A :class:`FaultPlan` maps injection sites (``featurize``, ``train``,
-``predict``, ``cache_disk_read``, ``cache_disk_write``) to firing rules.
+``predict``, ``cache_disk_read``, ``cache_disk_write``, and the serve
+path's ``ingest``, ``score_chunk``, ``checkpoint_write``) to firing
+rules.
 Whether invocation *i* at a site fires is a pure function of
 ``(seed, site, i)`` -- a SHA-256 hash scaled to [0, 1) and compared to
 the site's rate -- so the same plan breaks the same calls every run, on
@@ -25,13 +27,17 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-#: the call sites the engine and runner expose to the injector
+#: the call sites the engine, runner and serve daemon expose to the
+#: injector
 SITES = (
     "featurize",
     "train",
     "predict",
     "cache_disk_read",
     "cache_disk_write",
+    "ingest",
+    "score_chunk",
+    "checkpoint_write",
 )
 
 #: spellings accepted by the spec parser for the injected exception type
@@ -123,6 +129,18 @@ class FaultPlan:
                     f"site:rate[:exception] or site:#N[:exception]"
                 )
             site, amount = parts[0], parts[1]
+            if site not in SITES:
+                # reject typos loudly, with a nudge: a spec clause that
+                # names a nonexistent site would otherwise describe a
+                # fault that can never fire
+                import difflib
+
+                close = difflib.get_close_matches(site, SITES, n=1)
+                hint = f"; did you mean {close[0]!r}?" if close else ""
+                raise ValueError(
+                    f"unknown fault site {site!r} in clause "
+                    f"{clause!r}{hint} valid sites: {', '.join(SITES)}"
+                )
             exception = parts[2] if len(parts) == 3 else "fault"
             rate, fail_first = 0.0, 0
             if amount.startswith("#"):

@@ -26,6 +26,7 @@ from repro.obs.metrics import (
     METRICS,
     MetricsRegistry,
     get_metrics,
+    observe_uptime,
 )
 from repro.obs.render import TreeRenderer, build_tree, format_bytes
 from repro.obs.resources import ResourceProbe, gc_collections, rss_peak_bytes
@@ -40,6 +41,7 @@ __all__ = [
     "METRICS",
     "MetricsRegistry",
     "get_metrics",
+    "observe_uptime",
     "TreeRenderer",
     "build_tree",
     "format_bytes",

@@ -65,6 +65,20 @@ VECTOR_REFUSALS = "engine_vector_refusals_total"
 PROGRESS_EVENTS = "bench_progress_events_total"
 STREAM_STEPS = "engine_stream_steps_total"
 STREAM_REFUSALS = "engine_stream_refusals_total"
+ENGINE_UPTIME = "engine_uptime_seconds"
+SERVE_PACKETS_INGESTED = "serve_packets_ingested_total"
+SERVE_CHUNKS_ASSEMBLED = "serve_chunks_assembled_total"
+SERVE_CHUNKS_SCORED = "serve_chunks_scored_total"
+SERVE_CHUNKS_DROPPED = "serve_chunks_dropped_total"
+SERVE_CHUNKS_QUARANTINED = "serve_chunks_quarantined_total"
+SERVE_CHUNK_RETRIES = "serve_chunk_retries_total"
+SERVE_INGEST_RETRIES = "serve_ingest_retries_total"
+SERVE_QUEUE_DEPTH = "serve_queue_depth"
+SERVE_QUEUE_BLOCKED = "serve_queue_blocked_total"
+SERVE_WATCHDOG_RESTARTS = "serve_watchdog_restarts_total"
+SERVE_RELOADS = "serve_reloads_total"
+SERVE_CHECKPOINTS = "serve_checkpoints_written_total"
+SERVE_CHECKPOINT_ERRORS = "serve_checkpoint_errors_total"
 
 
 class Counter:
@@ -354,3 +368,32 @@ METRICS = MetricsRegistry()
 def get_metrics() -> MetricsRegistry:
     """The process-global :class:`MetricsRegistry`."""
     return METRICS
+
+
+# ---------------------------------------------------------------------------
+# process uptime
+# ---------------------------------------------------------------------------
+
+import time as _time  # noqa: E402  (kept local to the uptime helpers)
+
+#: monotonic reference taken at import: the process "start" for uptime
+_PROCESS_START = _time.perf_counter()
+
+
+def observe_uptime(seconds: float | None = None) -> float:
+    """Refresh the ``engine_uptime_seconds`` gauge and return it.
+
+    With no argument the gauge reflects wall time since this module was
+    imported (measured with the monotonic ``perf_counter`` -- never
+    ``time.time()``).  Long-running services that keep their own
+    injectable clock (``repro serve``) pass their elapsed seconds
+    explicitly, so soak tests in virtual time report virtual uptime.
+    """
+    if seconds is None:
+        seconds = _time.perf_counter() - _PROCESS_START
+    gauge = METRICS.gauge(
+        ENGINE_UPTIME,
+        "seconds this process (or the serving daemon's clock) has been up",
+    )
+    gauge.set(float(seconds))
+    return float(seconds)

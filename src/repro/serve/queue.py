@@ -1,0 +1,92 @@
+"""The bounded ingest queue between assembly and scoring.
+
+Backpressure is a *policy*, not an accident: when scoring falls behind
+replay the queue fills, and what happens next is chosen explicitly.
+
+* ``block`` -- refuse new chunks; the daemon stops ingesting and the
+  replay source holds its packets, so everything is eventually scored
+  (late, never lost).  ``serve_queue_blocked_total`` counts refusals.
+* ``drop-oldest`` -- evict the oldest queued chunk to admit the new
+  one, favouring freshness over completeness.  Every eviction is
+  returned to the caller (which journals it) and counted on
+  ``serve_chunks_dropped_total`` -- loss is allowed but never silent.
+
+``serve_queue_depth`` is kept current on every put/get so a scrape
+mid-run sees the actual occupancy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.obs import METRICS
+from repro.obs import metrics as metric_names
+from repro.serve.source import Chunk
+
+#: admission policies a queue can be built with
+POLICIES = ("block", "drop-oldest")
+
+
+class BoundedChunkQueue:
+    """A FIFO of assembled chunks with explicit overflow behaviour."""
+
+    def __init__(self, capacity: int, *, policy: str = "block") -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {policy!r}; choose from "
+                f"{', '.join(POLICIES)}"
+            )
+        self.capacity = int(capacity)
+        self.policy = policy
+        self._chunks: deque[Chunk] = deque()
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def full(self) -> bool:
+        return len(self._chunks) >= self.capacity
+
+    def _gauge_depth(self) -> None:
+        METRICS.gauge(
+            metric_names.SERVE_QUEUE_DEPTH,
+            "chunks currently queued between ingest and scoring",
+        ).set(float(len(self._chunks)))
+
+    def try_put(self, chunk: Chunk) -> tuple[str, Chunk | None]:
+        """Admit ``chunk`` under the queue's policy.
+
+        Returns ``(status, evicted)``: ``("ok", None)`` on a plain
+        admit, ``("blocked", None)`` when a full ``block`` queue
+        refused (the caller must hold the chunk and stop ingesting),
+        ``("dropped", oldest)`` when ``drop-oldest`` evicted -- the
+        caller owns journaling the returned chunk.
+        """
+        if not self.full:
+            self._chunks.append(chunk)
+            self._gauge_depth()
+            return "ok", None
+        if self.policy == "block":
+            METRICS.counter(
+                metric_names.SERVE_QUEUE_BLOCKED,
+                "chunk admissions refused by a full queue (block policy)",
+            ).inc()
+            return "blocked", None
+        evicted = self._chunks.popleft()
+        self._chunks.append(chunk)
+        METRICS.counter(
+            metric_names.SERVE_CHUNKS_DROPPED,
+            "chunks evicted by a full queue (drop-oldest policy)",
+        ).inc()
+        self._gauge_depth()
+        return "dropped", evicted
+
+    def get(self) -> Chunk | None:
+        """The oldest queued chunk, or None when empty."""
+        if not self._chunks:
+            return None
+        chunk = self._chunks.popleft()
+        self._gauge_depth()
+        return chunk

@@ -140,6 +140,23 @@ class TestSpecParsing:
         with pytest.raises(ValueError):
             FaultPlan.parse(spec)
 
+    @pytest.mark.parametrize("site", ["ingest", "score_chunk",
+                                      "checkpoint_write"])
+    def test_serve_sites_parse(self, site):
+        rule = FaultPlan.parse(f"{site}:0.3").rule_for(site)
+        assert rule.rate == 0.3
+
+    def test_unknown_site_lists_valid_sites(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultPlan.parse("serve_chunk:0.5")
+        message = str(excinfo.value)
+        # the error must teach: name the bad clause, list every valid
+        # site, and nudge toward the close spelling
+        assert "serve_chunk" in message
+        for site in SITES:
+            assert site in message
+        assert "did you mean 'score_chunk'?" in message
+
 
 class TestFaultInjector:
     def test_counts_invocations_per_site(self):

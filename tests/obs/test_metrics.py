@@ -232,3 +232,40 @@ class TestConcurrency:
 
 def test_global_registry_is_a_singleton():
     assert get_metrics() is get_metrics()
+
+
+class TestUptime:
+    """The engine_uptime_seconds gauge behind ``repro metrics``."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        # uptime writes to the process-global registry; keep the gauge
+        # from leaking into (or out of) other tests
+        get_metrics().reset()
+        yield
+        get_metrics().reset()
+
+    def test_default_reads_process_wall_time(self):
+        from repro.obs import metrics as metric_names
+        from repro.obs.metrics import observe_uptime
+
+        seconds = observe_uptime()
+        assert seconds > 0.0
+        gauge = get_metrics().gauge(metric_names.ENGINE_UPTIME)
+        assert gauge.value == seconds
+        assert observe_uptime() >= seconds  # monotone on re-observation
+
+    def test_explicit_seconds_win(self):
+        from repro.obs import metrics as metric_names
+        from repro.obs.metrics import observe_uptime
+
+        assert observe_uptime(12.5) == 12.5
+        gauge = get_metrics().gauge(metric_names.ENGINE_UPTIME)
+        assert gauge.value == 12.5
+
+    def test_rendered_in_the_exposition(self):
+        from repro.obs.metrics import observe_uptime
+
+        observe_uptime(3.0)
+        text = get_metrics().render_prometheus()
+        assert "engine_uptime_seconds 3" in text

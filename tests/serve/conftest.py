@@ -1,0 +1,46 @@
+"""Shared fixtures for serve-daemon tests.
+
+Serve tests assert on metric *deltas* and on byte-equality of outputs,
+both of which are poisoned by state leaking between tests: the metrics
+registry is process-global, and a stray installed fault injector would
+fire into an unrelated test.  The autouse fixtures below make the
+hygiene explicit -- every test starts with an empty registry and no
+active injector, and leaves none behind.
+"""
+
+import pytest
+
+from repro.faults import uninstall
+from repro.net.table import PacketTable
+from repro.obs import get_metrics
+from repro.traffic import AttackSpec, NetworkScenario
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    """Explicit registry hygiene: serve tests read absolute counters."""
+    registry = get_metrics()
+    registry.reset()
+    yield registry
+    registry.reset()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    """No fault plan survives a test, even one that raised mid-run."""
+    uninstall()
+    yield
+    uninstall()
+
+
+@pytest.fixture(scope="session")
+def serve_trace() -> PacketTable:
+    """A small mixed trace shaped like the CI soak (one attack window)."""
+    scenario = NetworkScenario(
+        name="serve-test",
+        device_counts={"workstation": 2, "camera": 1},
+        duration=40.0,
+        seed=7,
+        attacks=(AttackSpec("port_scan", 0.4, 0.7, intensity=0.2),),
+    )
+    return scenario.generate()

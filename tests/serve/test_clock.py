@@ -1,0 +1,57 @@
+"""The injectable clocks: virtual time must behave like time."""
+
+import threading
+
+import pytest
+
+from repro.serve import Clock, MonotonicClock, ReplayClock
+
+
+class TestReplayClock:
+    def test_starts_where_told(self):
+        assert ReplayClock().now() == 0.0
+        assert ReplayClock(start=100.0).now() == 100.0
+
+    def test_sleep_advances_instead_of_waiting(self):
+        clock = ReplayClock()
+        clock.sleep(12.5)
+        assert clock.now() == 12.5
+
+    def test_advance_accumulates(self):
+        clock = ReplayClock()
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert clock.now() == 3.0
+
+    def test_never_backwards(self):
+        clock = ReplayClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_thread_safe_advance(self):
+        clock = ReplayClock()
+        workers = [
+            threading.Thread(
+                target=lambda: [clock.advance(0.001) for _ in range(1000)]
+            )
+            for _ in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert clock.now() == pytest.approx(4.0)
+
+
+class TestMonotonicClock:
+    def test_is_a_clock(self):
+        assert isinstance(MonotonicClock(), Clock)
+
+    def test_now_moves_forward(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        clock.sleep(0.01)
+        assert clock.now() > first
+
+    def test_negative_sleep_is_a_noop(self):
+        MonotonicClock().sleep(-5.0)  # must not raise or block

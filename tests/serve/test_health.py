@@ -1,0 +1,65 @@
+"""The atomic status file and its readiness semantics."""
+
+import json
+
+import pytest
+
+from repro.serve import ServeStatus
+
+
+class TestServeStatus:
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError, match="unknown serve state"):
+            ServeStatus(state="zombie")
+
+    def test_write_load_round_trip(self, tmp_path):
+        status = ServeStatus(
+            state="serving",
+            uptime_seconds=12.5,
+            dataset="F0",
+            chunks_scored=7,
+            chunks_quarantined=1,
+            packets_ingested=800,
+            packets_total=1361,
+            queue_depth=2,
+            replay_cursor=800,
+            last_error="score: FaultInjected",
+        )
+        path = tmp_path / "status.json"
+        status.write(path)
+        assert ServeStatus.load(path) == status
+
+    def test_write_is_atomic(self, tmp_path):
+        path = tmp_path / "deep" / "status.json"
+        ServeStatus(state="serving").write(path)  # creates the parent
+        ServeStatus(state="stopped").write(path)
+        assert not path.with_name(path.name + ".tmp").exists()
+        assert json.loads(path.read_text())["state"] == "stopped"
+
+    @pytest.mark.parametrize("state,ready", [
+        ("starting", True),
+        ("serving", True),
+        ("reloading", True),
+        ("draining", True),
+        ("stopped", False),
+    ])
+    def test_ready_tracks_liveness(self, state, ready):
+        assert ServeStatus(state=state).ready is ready
+
+    def test_render_mentions_the_essentials(self):
+        status = ServeStatus(
+            state="serving",
+            chunks_scored=7,
+            chunks_quarantined=2,
+            packets_total=100,
+            checkpoint_chunk=5,
+            last_error="ingest: OSError",
+        )
+        report = status.render()
+        assert "serving" in report
+        assert "chunks scored       7" in report
+        assert "chunk 5" in report
+        assert "ingest: OSError" in report
+
+    def test_render_omits_an_empty_error(self):
+        assert "last error" not in ServeStatus().render()

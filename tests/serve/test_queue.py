@@ -1,0 +1,75 @@
+"""Backpressure policies of the bounded ingest queue."""
+
+import numpy as np
+import pytest
+
+from repro.net.table import PacketTable
+from repro.obs import METRICS
+from repro.obs import metrics as metric_names
+from repro.serve import BoundedChunkQueue, Chunk
+
+
+def make_chunk(window: int) -> Chunk:
+    table = PacketTable.empty()
+    return Chunk(table, window, row_start=window * 10)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            BoundedChunkQueue(0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="drop-oldest"):
+            BoundedChunkQueue(4, policy="teleport")
+
+
+class TestBlockPolicy:
+    def test_fifo_until_full(self):
+        queue = BoundedChunkQueue(2, policy="block")
+        assert queue.try_put(make_chunk(0)) == ("ok", None)
+        assert queue.try_put(make_chunk(1)) == ("ok", None)
+        assert queue.full
+        assert queue.get().window == 0
+        assert queue.get().window == 1
+        assert queue.get() is None
+
+    def test_full_queue_refuses_and_counts(self):
+        queue = BoundedChunkQueue(1, policy="block")
+        queue.try_put(make_chunk(0))
+        status, evicted = queue.try_put(make_chunk(1))
+        assert (status, evicted) == ("blocked", None)
+        assert len(queue) == 1  # the refused chunk was NOT admitted
+        blocked = METRICS.counter(metric_names.SERVE_QUEUE_BLOCKED)
+        assert blocked.value == 1
+
+    def test_refusal_drops_nothing(self):
+        queue = BoundedChunkQueue(1, policy="block")
+        queue.try_put(make_chunk(0))
+        queue.try_put(make_chunk(1))
+        dropped = METRICS.counter(metric_names.SERVE_CHUNKS_DROPPED)
+        assert dropped.value == 0
+
+
+class TestDropOldestPolicy:
+    def test_evicts_the_oldest_and_returns_it(self):
+        queue = BoundedChunkQueue(2, policy="drop-oldest")
+        queue.try_put(make_chunk(0))
+        queue.try_put(make_chunk(1))
+        status, evicted = queue.try_put(make_chunk(2))
+        assert status == "dropped"
+        assert evicted.window == 0  # caller owns journaling this
+        assert [queue.get().window, queue.get().window] == [1, 2]
+        dropped = METRICS.counter(metric_names.SERVE_CHUNKS_DROPPED)
+        assert dropped.value == 1
+
+
+class TestDepthGauge:
+    def test_tracks_every_put_and_get(self):
+        queue = BoundedChunkQueue(4)
+        gauge = METRICS.gauge(metric_names.SERVE_QUEUE_DEPTH)
+        queue.try_put(make_chunk(0))
+        queue.try_put(make_chunk(1))
+        assert gauge.value == 2.0
+        queue.get()
+        assert gauge.value == 1.0

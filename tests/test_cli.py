@@ -728,3 +728,85 @@ class TestMatrixProgressFlags:
                      "--progress"]) == 0
         err = capsys.readouterr().err
         assert "cells 1/1" in err
+
+
+class TestServeCommand:
+    """The ``repro serve`` daemon entry point and its status probe."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_state(self):
+        from repro.faults import uninstall
+        from repro.obs import get_metrics
+
+        get_metrics().reset()
+        uninstall()
+        yield
+        get_metrics().reset()
+        uninstall()
+
+    def test_requires_a_dataset_or_status(self, capsys):
+        assert main(["serve"]) == 2
+        assert "dataset id is required" in capsys.readouterr().err
+
+    def test_unknown_dataset_rejected(self, capsys):
+        assert main(["serve", "NOPE"]) == 2
+
+    def test_bad_fault_spec_is_a_usage_error(self, capsys):
+        assert main(["serve", "F0", "--faults", "serve_chunk:0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'score_chunk'?" in err
+
+    def test_bounded_virtual_run(self, tmp_path, capsys):
+        status_file = tmp_path / "status.json"
+        assert main([
+            "serve", "F0", "--virtual-time",
+            "--chunk-seconds", "5", "--max-chunks", "3",
+            "--status-file", str(status_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 3 chunk(s)" in out
+        status = json.loads(status_file.read_text())
+        assert status["state"] == "stopped"
+        assert status["chunks_scored"] == 3
+
+    def test_chaos_run_verifies_against_offline(self, tmp_path, capsys):
+        quarantine = tmp_path / "quarantine.jsonl"
+        results = tmp_path / "results.jsonl"
+        assert main([
+            "serve", "F1", "--virtual-time", "--outputs", "X,y",
+            "--chunk-seconds", "10", "--retries", "3",
+            "--faults", "score_chunk:0.3", "--fault-seed", "7",
+            "--quarantine", str(quarantine),
+            "--out", str(results),
+            "--verify-offline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault injection active" in out
+        assert "byte-equal" in out
+        assert "MISMATCH" not in out
+        records = [json.loads(line)
+                   for line in results.read_text().splitlines()
+                   if line.strip()]
+        assert records and all(r["kind"] == "chunk" for r in records)
+
+    def test_status_probe_missing_file(self, tmp_path, capsys):
+        assert main(["serve", "--status",
+                     str(tmp_path / "absent.json")]) == 2
+        assert "no status file" in capsys.readouterr().err
+
+    def test_status_probe_alive_and_stopped(self, tmp_path, capsys):
+        from repro.serve import ServeStatus
+
+        path = tmp_path / "status.json"
+        ServeStatus(state="serving", chunks_scored=4).write(path)
+        assert main(["serve", "--status", str(path)]) == 0
+        assert "serving" in capsys.readouterr().out
+        ServeStatus(state="stopped").write(path)
+        assert main(["serve", "--status", str(path)]) == 3
+
+    def test_serve_metrics_surface_in_exposition(self, capsys):
+        assert main(["metrics", "serve", "F0", "--virtual-time",
+                     "--chunk-seconds", "5", "--max-chunks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serve_chunks_scored_total 2" in out
+        assert "engine_uptime_seconds" in out

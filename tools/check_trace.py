@@ -12,7 +12,13 @@ gc_collections; alloc_bytes/alloc_peak_bytes when memory tracking was
 on).  ``run_stream`` spans must carry either a non-empty
 ``stream_refused`` reason or a ``chunks`` count, and every
 ``stream_chunk`` span must carry its chunk index and the carried-state
-byte measurement.
+byte measurement.  The serve daemon's spans are validated too: a
+``serve`` root span needs its config attrs (chunk_seconds, pps,
+policy, queue_capacity), non-negative outcome counters
+(chunks_scored/quarantined/dropped, reloads, watchdog_restarts) and a
+non-empty ``outcome``; ``ingest`` spans need the replay ``row`` they
+started at (plus ``rows`` moved when they succeeded); ``score_chunk``
+spans need chunk/rows/row_start and a 1-based ``attempt``.
 
 With ``--progress`` the file is instead validated as a matrix
 progress-event journal (``repro matrix --progress-file``): every line
@@ -149,6 +155,96 @@ def _check_run_stream(where: str, span: dict, problems: list[str]) -> None:
         problems.append(f"{where}: run_stream chunk count is negative")
 
 
+#: attrs every serve (daemon root) span must carry
+_SERVE_ATTRS = {
+    "chunk_seconds": _NUMBER,
+    "pps": _NUMBER,
+    "policy": str,
+    "queue_capacity": int,
+}
+
+#: counters a completed serve span reports
+_SERVE_COUNTERS = (
+    "chunks_scored",
+    "chunks_quarantined",
+    "chunks_dropped",
+    "reloads",
+    "watchdog_restarts",
+)
+
+
+def _check_serve(where: str, span: dict, problems: list[str]) -> None:
+    """The daemon's root span: config attrs plus outcome counters."""
+    attrs = span.get("attrs")
+    if not isinstance(attrs, dict):
+        return
+    for name, types in _SERVE_ATTRS.items():
+        value = attrs.get(name)
+        if value is None:
+            problems.append(f"{where}: serve span missing attr {name!r}")
+        elif not isinstance(value, types) or isinstance(value, bool):
+            problems.append(f"{where}: serve attr {name!r} has type "
+                            f"{type(value).__name__}")
+    for name in _SERVE_COUNTERS:
+        value = attrs.get(name)
+        if value is None:
+            problems.append(f"{where}: serve span missing counter {name!r}")
+        elif not isinstance(value, int) or isinstance(value, bool):
+            problems.append(f"{where}: serve counter {name!r} has type "
+                            f"{type(value).__name__}")
+        elif value < 0:
+            problems.append(f"{where}: serve counter {name!r} is negative")
+    outcome = attrs.get("outcome")
+    if not isinstance(outcome, str) or not outcome:
+        problems.append(f"{where}: serve span needs a non-empty "
+                        "'outcome' string")
+
+
+def _check_ingest(where: str, span: dict, problems: list[str]) -> None:
+    """One replay delivery: where it started, how many rows it moved."""
+    attrs = span.get("attrs")
+    if not isinstance(attrs, dict):
+        return
+    row = attrs.get("row")
+    if not isinstance(row, int) or isinstance(row, bool) or row < 0:
+        problems.append(f"{where}: ingest span needs a non-negative "
+                        "int 'row'")
+    rows = attrs.get("rows")
+    if span.get("status") != "ok":
+        return  # a failed delivery died before counting rows
+    if not isinstance(rows, int) or isinstance(rows, bool) or rows < 0:
+        problems.append(f"{where}: ingest span needs a non-negative "
+                        "int 'rows'")
+
+
+#: attrs every score_chunk attempt span must carry
+_SCORE_CHUNK_ATTRS = {
+    "chunk": int,
+    "rows": int,
+    "row_start": int,
+    "attempt": int,
+}
+
+
+def _check_score_chunk(where: str, span: dict, problems: list[str]) -> None:
+    attrs = span.get("attrs")
+    if not isinstance(attrs, dict):
+        return
+    for name, types in _SCORE_CHUNK_ATTRS.items():
+        value = attrs.get(name)
+        if value is None:
+            problems.append(f"{where}: score_chunk span missing attr "
+                            f"{name!r}")
+        elif not isinstance(value, types) or isinstance(value, bool):
+            problems.append(f"{where}: score_chunk attr {name!r} has "
+                            f"type {type(value).__name__}")
+        elif value < 0:
+            problems.append(f"{where}: score_chunk attr {name!r} is "
+                            "negative")
+    if isinstance(attrs.get("attempt"), int) and attrs["attempt"] < 1:
+        problems.append(f"{where}: score_chunk attempt starts at 1")
+
+
 def check_file(path: Path) -> list[str]:
     problems: list[str] = []
     spans: dict[int, dict] = {}
@@ -204,6 +300,12 @@ def check_file(path: Path) -> list[str]:
             _check_stream_chunk(where, event, problems)
         elif event["name"] == "run_stream":
             _check_run_stream(where, event, problems)
+        elif event["name"] == "serve":
+            _check_serve(where, event, problems)
+        elif event["name"] == "ingest":
+            _check_ingest(where, event, problems)
+        elif event["name"] == "score_chunk":
+            _check_score_chunk(where, event, problems)
         spans[event["span_id"]] = event
     if lines == 0:
         problems.append(f"{path}: trace is empty")
