@@ -35,6 +35,13 @@ from repro.analysis.equivalence import (
     CanonicalStep,
     canonicalize,
 )
+from repro.analysis.concurrency import (
+    ConcurrencyReport,
+    audit_concurrency,
+    module_concurrency_report,
+    operation_concurrency_report,
+    pass_concurrency,
+)
 from repro.analysis.faithfulness import pass_faithfulness
 from repro.analysis.graph import (
     StepNode,
@@ -77,6 +84,7 @@ __all__ = [
     "AnalysisResult",
     "CanonicalGraph",
     "CanonicalStep",
+    "ConcurrencyReport",
     "Diagnostic",
     "EffectReport",
     "ExecutionPlan",
@@ -89,6 +97,7 @@ __all__ = [
     "VectorReport",
     "analyze_pipeline",
     "analyze_template",
+    "audit_concurrency",
     "audit_registry",
     "audit_streamable",
     "audit_vectorization",
@@ -98,9 +107,12 @@ __all__ = [
     "canonicalize",
     "collect_targets",
     "graph_from_pipeline",
+    "module_concurrency_report",
+    "operation_concurrency_report",
     "operation_report",
     "operation_stream_report",
     "operation_vector_report",
+    "pass_concurrency",
     "pass_effects",
     "pass_streamable",
     "pass_vectorize",
@@ -122,6 +134,7 @@ def _run_passes(
     pass_effects(graph, diagnostics)
     pass_vectorize(graph, diagnostics)
     pass_streamable(graph, diagnostics)
+    pass_concurrency(graph, diagnostics)
     if dataset_id is not None:
         pass_faithfulness(graph, diagnostics, dataset_id)
     return AnalysisResult(diagnostics)

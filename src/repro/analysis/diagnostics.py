@@ -72,6 +72,14 @@ CODES: dict[str, str] = {
     "L046": "batch-only operation pinning an otherwise streamable template",
     "L047": "eviction-free flow buffer",
     "L048": "inferred state bound exceeds the declared budget",
+    "L049": "unguarded mutation of shared state",
+    "L050": "state mutated both under and outside its lock",
+    "L051": "lock-acquisition cycle (deadlock potential)",
+    "L052": "carried stream state escapes its session",
+    "L053": "bare acquire()/release() instead of a with block",
+    "L054": "concurrency verdict/declaration drift",
+    "L055": "racy operation pinning a concurrent-safe template",
+    "L056": "thread-hostile callee (process-global side effect)",
 }
 
 

@@ -580,6 +580,103 @@ def _cmd_streamable(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_races(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.analysis.concurrency import audit_concurrency
+
+    payload = audit_concurrency()
+    if args.out:
+        with open(args.out, "w") as handle:
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        header = (
+            f"{'operation':<22} {'verdict':<18} {'declared':<18} "
+            f"{'safe':<5} codes"
+        )
+        print(header)
+        print("-" * len(header))
+        for op in payload["operations"]:
+            codes = ",".join(
+                sorted({d.split()[0] for d in op["diagnostics"]})
+            )
+            print(
+                f"{op['operation']:<22} {op['verdict']:<18} "
+                f"{op['declared'] or '-':<18} "
+                f"{'yes' if op['concurrent_safe'] else 'NO':<5} "
+                f"{codes or '-'}"
+            )
+            if args.verbose:
+                for name, line, guards in op["shared_writes"]:
+                    held = f" (under {guards})" if guards else ""
+                    print(
+                        f"    line {line}: shared write -- {name}{held}"
+                    )
+                for line, detail in op["escapes"]:
+                    print(f"    line {line}: state escape -- {detail}")
+                for line, dotted in op["hostile"]:
+                    print(f"    line {line}: hostile call -- {dotted}")
+                if op["refusal"]:
+                    print(f"    refusal: {op['refusal']}")
+        print()
+        header = f"{'module':<34} {'verdict':<18} cycles codes"
+        print(header)
+        print("-" * len(header))
+        for module in payload["modules"]:
+            codes = ",".join(
+                sorted({d.split()[0] for d in module["diagnostics"]})
+            )
+            print(
+                f"{module['module']:<34} {module['verdict']:<18} "
+                f"{len(module['cycles']):<6} {codes or '-'}"
+            )
+            if args.verbose:
+                for name, state in sorted(module["state"].items()):
+                    guard = state["guard"] or "-"
+                    print(
+                        f"    {name}: {state['verdict']} "
+                        f"(guard={guard}, writes={state['writes']})"
+                    )
+        summary = payload["summary"]
+        print(
+            f"\n{summary['total']} operation(s): "
+            f"{summary['session_confined']} session-confined, "
+            f"{summary['lock_guarded']} lock-guarded, "
+            f"{summary['read_only_shared']} read-only-shared, "
+            f"{summary['racy']} racy, "
+            f"{summary['opaque']} opaque; "
+            f"{summary['concurrent_safe']} concurrent-safe; "
+            f"{summary['racy_modules']} racy module(s), "
+            f"{summary['module_cycles']} lock cycle(s)"
+        )
+    if args.strict:
+        problems = []
+        if payload["summary"]["errors"]:
+            problems.append(
+                f"{payload['summary']['errors']} concurrency error(s) "
+                "(L049-L052/L054/L056)"
+            )
+        if payload["summary"]["racy"]:
+            problems.append(
+                f"{payload['summary']['racy']} racy operation(s)"
+            )
+        if payload["summary"]["racy_modules"]:
+            problems.append(
+                f"{payload['summary']['racy_modules']} racy module(s)"
+            )
+        if payload["summary"]["module_cycles"]:
+            problems.append(
+                f"{payload['summary']['module_cycles']} lock cycle(s)"
+            )
+        if problems:
+            print(f"strict: {'; '.join(problems)}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
     import json as json_module
 
@@ -858,6 +955,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         model_cache=args.model_cache,
         train_fraction=args.train_fraction,
         epochs=args.epochs,
+        sessions=args.sessions,
     )
     clock = ReplayClock() if args.virtual_time else MonotonicClock()
     daemon = ServeDaemon(
@@ -1103,6 +1201,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_streamable)
 
     p = sub.add_parser(
+        "races",
+        help="concurrency-safety audit: shared-state verdicts, lock "
+        "discipline, and escape analysis for every registered "
+        "operation and the core modules")
+    p.add_argument("--json", action="store_true",
+                   help="print the audit as JSON (for CI)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the JSON audit to a file")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 on any concurrency error "
+                   "(L049-L052/L054/L056), racy verdict, or lock cycle")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="show shared writes, escapes, and hostile calls "
+                   "under each operation and per-name module state")
+    p.set_defaults(fn=_cmd_races)
+
+    p = sub.add_parser(
         "bench-perf",
         help="measure the throughput baseline (packets/sec, cells/hour,"
         " scalar vs batch) and write BENCH_perf.json")
@@ -1262,6 +1377,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pickle the trained model here / load it if present")
     p.add_argument("--train-fraction", type=float, default=0.3)
     p.add_argument("--epochs", type=int, default=5)
+    p.add_argument("--sessions", type=int, default=1, metavar="N",
+                   help="score each chunk in N concurrent sessions; the "
+                   "template must pass the concurrency-safety gate "
+                   "(repro races) or startup is refused")
     p.add_argument("--virtual-time", action="store_true",
                    help="drive pacing/backoff/watchdog on a virtual clock "
                    "(deterministic soak; sleeps cost nothing)")

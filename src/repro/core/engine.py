@@ -122,6 +122,19 @@ def _stream_refusal(operation):
     return operation_stream_report(operation).refusal
 
 
+def _concurrency_refusal(operation):
+    """Why concurrent sessions must not share this step, or ``None``.
+
+    The concurrency analyzer's verdict gates exactly like the purity,
+    vectorization and streaming verdicts: racy/opaque operations and
+    declaration drift refuse (L049-L056); session-confined,
+    lock-guarded and read-only-shared operations are admitted.
+    """
+    from repro.analysis.concurrency import operation_concurrency_report
+
+    return operation_concurrency_report(operation).refusal
+
+
 def _carried_state_bytes(states: dict) -> int:
     """Recursive in-memory size of the carried stream state, for spans."""
     import sys
@@ -416,6 +429,12 @@ class StreamSession:
             for refusal in (_stream_refusal(call.operation),)
             if refusal is not None
         ]
+        self.concurrency_refusals = [
+            f"{call.name}:{refusal}"
+            for call in pipeline.calls
+            for refusal in (_concurrency_refusal(call.operation),)
+            if refusal is not None
+        ]
         self.chunks = 0
         self._states: dict[int, dict] = {
             index: {} for index in range(len(pipeline.calls))
@@ -439,6 +458,34 @@ class StreamSession:
             "steps refused by the streaming-safety gate",
         ).inc(len(self.refusals))
         raise TemplateError(f"pipeline is not proven streamable: {reason}")
+
+    @property
+    def concurrency_refusal_reason(self) -> str | None:
+        return (
+            ";".join(self.concurrency_refusals)
+            if self.concurrency_refusals
+            else None
+        )
+
+    def raise_if_concurrency_refused(self, span=None) -> None:
+        """Refuse concurrent serving visibly: span attr + counter + error.
+
+        Single-session use never calls this; it gates only execution
+        modes that would run this pipeline from more than one thread
+        (``repro serve --sessions N``).
+        """
+        if not self.concurrency_refusals:
+            return
+        reason = self.concurrency_refusal_reason
+        if span is not None:
+            span.set("concurrency_refused", reason)
+        METRICS.counter(
+            metric_names.CONCURRENCY_REFUSALS,
+            "steps refused by the concurrency-safety gate",
+        ).inc(len(self.concurrency_refusals))
+        raise TemplateError(
+            f"pipeline is not proven concurrent-safe: {reason}"
+        )
 
     def _step_fingerprint(self, index: int) -> str:
         call = self.pipeline.calls[index]
@@ -838,6 +885,11 @@ class ExecutionEngine:
                     span_attrs={
                         "plan_stage": stage.stage_id,
                         "dedup_hits": stage.refcount - 1,
+                        # concurrency verdict: stages proven safe here
+                        # may materialize from worker threads once the
+                        # planner grows a threaded executor
+                        "thread_safe": _concurrency_refusal(operation)
+                        is None,
                     },
                 )
                 executed += 1

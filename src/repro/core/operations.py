@@ -76,6 +76,11 @@ STREAM_CLASSES = ("stateless", "prefix-mergeable", "window-bounded",
 #: symbolic carried-state budgets accepted by ``state_bound=``
 STATE_BOUNDS = ("O(1)", "O(window)", "O(flows)", "O(n)")
 
+#: concurrency classes accepted by ``register_operation(concurrency=...)``
+#: (kept literal so the concurrency analyzer stays standalone-loadable)
+CONCURRENCY_CLASSES = ("session-confined", "lock-guarded",
+                       "read-only-shared", "racy")
+
 
 @dataclass(frozen=True)
 class Operation:
@@ -104,6 +109,10 @@ class Operation:
     #: declared carried-state budget (one of :data:`STATE_BOUNDS`);
     #: exceeding it is an L048 error
     state_bound: str | None = None
+    #: declared concurrency class (one of :data:`CONCURRENCY_CLASSES`);
+    #: the concurrency analyzer checks it against its inferred verdict
+    #: (L054 drift) before multi-session serving may admit the op
+    concurrency: str | None = None
 
     def validate_params(self, params: dict) -> dict:
         """Check required params are present and fill defaults."""
@@ -144,6 +153,7 @@ def register_operation(
     sort_key: str | None = None,
     stream: str | None = None,
     state_bound: str | None = None,
+    concurrency: str | None = None,
 ) -> Callable[[OpFn], OpFn]:
     """Decorator registering a function as a framework operation."""
 
@@ -160,6 +170,11 @@ def register_operation(
                 f"operation {name!r}: state_bound={state_bound!r} is "
                 f"not one of {STATE_BOUNDS}"
             )
+        if concurrency is not None and concurrency not in CONCURRENCY_CLASSES:
+            raise ValueError(
+                f"operation {name!r}: concurrency={concurrency!r} is "
+                f"not one of {CONCURRENCY_CLASSES}"
+            )
         OPERATIONS[name] = Operation(
             name=name,
             input_types=input_types,
@@ -171,6 +186,7 @@ def register_operation(
             sort_key=sort_key,
             stream=stream,
             state_bound=state_bound,
+            concurrency=concurrency,
         )
         return fn
 
@@ -455,6 +471,7 @@ def _time_slice(inputs: list, params: dict) -> FlowTable:
     description="Per-packet numeric feature matrix from raw fields.",
     stream="stateless",
     state_bound="O(1)",
+    concurrency="session-confined",
 )
 def _packet_fields(inputs: list, params: dict) -> np.ndarray:
     table: PacketTable = inputs[0]
@@ -472,6 +489,7 @@ def _packet_fields(inputs: list, params: dict) -> np.ndarray:
     description="One-hot encoding of the transport protocol per packet.",
     stream="stateless",
     state_bound="O(1)",
+    concurrency="session-confined",
 )
 def _protocol_one_hot(inputs: list, params: dict) -> np.ndarray:
     table: PacketTable = inputs[0]
@@ -615,6 +633,7 @@ def _nprint_header_blocks(table: PacketTable, layers: list) -> list:
     "is absent (here encoded as 0/1 with a presence column per layer).",
     stream="stateless",
     state_bound="O(1)",
+    concurrency="session-confined",
 )
 def _nprint_encode(inputs: list, params: dict) -> np.ndarray:
     table: PacketTable = inputs[0]
@@ -684,6 +703,7 @@ def _nprint_encode_stream(
     sort_key="ts",
     stream="prefix-mergeable",
     state_bound="O(flows)",
+    concurrency="session-confined",
 )
 def _kitsune_features(inputs: list, params: dict) -> np.ndarray:
     from repro.core.incstats import kitsune_packet_features
@@ -1055,6 +1075,7 @@ def _select_columns(inputs: list, params: dict) -> np.ndarray:
     description="Ground-truth labels of the input packets or flows.",
     stream="stateless",
     state_bound="O(1)",
+    concurrency="session-confined",
 )
 def _labels(inputs: list, params: dict) -> np.ndarray:
     source = inputs[0]

@@ -65,6 +65,7 @@ VECTOR_REFUSALS = "engine_vector_refusals_total"
 PROGRESS_EVENTS = "bench_progress_events_total"
 STREAM_STEPS = "engine_stream_steps_total"
 STREAM_REFUSALS = "engine_stream_refusals_total"
+CONCURRENCY_REFUSALS = "engine_concurrency_refusals_total"
 ENGINE_UPTIME = "engine_uptime_seconds"
 SERVE_PACKETS_INGESTED = "serve_packets_ingested_total"
 SERVE_CHUNKS_ASSEMBLED = "serve_chunks_assembled_total"
@@ -79,6 +80,7 @@ SERVE_WATCHDOG_RESTARTS = "serve_watchdog_restarts_total"
 SERVE_RELOADS = "serve_reloads_total"
 SERVE_CHECKPOINTS = "serve_checkpoints_written_total"
 SERVE_CHECKPOINT_ERRORS = "serve_checkpoint_errors_total"
+SERVE_SESSIONS = "serve_sessions"
 
 
 class Counter:

@@ -78,6 +78,7 @@ class Tracer:
 
     def __init__(self, sinks: list | None = None) -> None:
         self.sinks: list = list(sinks or [])
+        self._sinks_lock = threading.Lock()
         self._ids = itertools.count(1)
         self._local = threading.local()
 
@@ -86,14 +87,21 @@ class Tracer:
     # ------------------------------------------------------------------
 
     def add_sink(self, sink) -> None:
-        self.sinks.append(sink)
+        with self._sinks_lock:
+            self.sinks.append(sink)
 
     def remove_sink(self, sink) -> None:
-        if sink in self.sinks:
-            self.sinks.remove(sink)
+        with self._sinks_lock:
+            if sink in self.sinks:
+                self.sinks.remove(sink)
 
     def _emit(self, event: dict) -> None:
-        for sink in self.sinks:
+        # snapshot under the lock so a concurrent add/remove cannot
+        # tear the iteration; emission itself happens outside it (the
+        # sinks carry their own locks).
+        with self._sinks_lock:
+            sinks = list(self.sinks)
+        for sink in sinks:
             sink.emit(event)
 
     # ------------------------------------------------------------------

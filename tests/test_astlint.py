@@ -527,6 +527,89 @@ class TestStreamStateGate:
         assert found == []
 
 
+class TestLockDiscipline:
+    def serve_violations_for(self, tmp_path, source):
+        serve_dir = tmp_path / "serve"
+        serve_dir.mkdir(exist_ok=True)
+        path = serve_dir / "module.py"
+        path.write_text(source)
+        return astlint.lint_file(path)
+
+    def test_bare_acquire_release_flagged(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "def f():\n"
+            "    _lock.acquire()\n"
+            "    _lock.release()\n",
+        )
+        assert [v.code for v in found] == ["AL011", "AL011"]
+        assert "with _lock:" in found[0].message
+
+    def test_with_block_ok(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "def f():\n"
+            "    with _lock:\n"
+            "        pass\n",
+        )
+        assert found == []
+
+    def test_lock_like_receiver_flagged_without_binding(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "def f(queue_lock):\n"
+            "    queue_lock.acquire()\n",
+        )
+        assert [v.code for v in found] == ["AL011"]
+
+    def test_unguarded_serve_module_state_flagged(self, tmp_path):
+        found = self.serve_violations_for(
+            tmp_path,
+            "pending = {}\n"
+            "def handle(key):\n"
+            "    pending[key] = 1\n",
+        )
+        codes = {v.code for v in found}
+        assert codes == {"AL011"}
+        assert any("share module state" in v.message for v in found)
+
+    def test_guarded_serve_module_state_ok(self, tmp_path):
+        found = self.serve_violations_for(
+            tmp_path,
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "TABLE = {}\n"
+            "def handle(key):\n"
+            "    with _lock:\n"
+            "        TABLE[key] = 1\n",
+        )
+        assert found == []
+
+    def test_module_state_outside_serve_not_checked(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "pending = {}\n"
+            "def handle(key):\n"
+            "    pending[key] = 1\n",
+        )
+        assert found == []
+
+    def test_pragma_disables_line(self, tmp_path):
+        found = violations_for(
+            tmp_path,
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "def f():\n"
+            "    _lock.acquire()  # astlint: disable\n"
+            "    _lock.release()  # astlint: disable\n",
+        )
+        assert found == []
+
+
 class TestGate:
     def test_fixtures_directories_skipped(self, tmp_path):
         fixture_dir = tmp_path / "fixtures"

@@ -322,6 +322,96 @@ class TestStreamableCommand:
             OPERATIONS.pop("StreamableFixture", None)
 
 
+class TestRacesCommand:
+    def test_table_lists_operations_and_modules(self, capsys):
+        from repro.core.operations import OPERATIONS
+
+        assert main(["races"]) == 0
+        out = capsys.readouterr().out
+        for name in OPERATIONS:
+            assert name in out
+        assert "session-confined" in out
+        assert "repro.obs.metrics" in out
+        assert "concurrent-safe" in out
+
+    def test_json_payload(self, capsys):
+        assert main(["races", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        summary = payload["summary"]
+        assert summary["total"] == len(payload["operations"])
+        assert summary["racy"] == 0
+        assert summary["errors"] == 0
+        modules = {m["module"] for m in payload["modules"]}
+        assert "repro.serve.daemon" in modules
+        assert "repro.obs.spans" in modules
+
+    def test_json_is_byte_deterministic(self, capsys):
+        assert main(["races", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["races", "--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "races.json"
+        assert main(["races", "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["summary"]["concurrent_safe"] == (
+            payload["summary"]["total"]
+        )
+
+    def test_strict_clean_registry_passes(self, capsys):
+        assert main(["races", "--strict"]) == 0
+
+    def test_strict_fails_on_racy_operation(self, capsys):
+        from repro.core.operations import (
+            OPERATIONS,
+            register_operation,
+        )
+        from repro.core.types import ValueType
+
+        def _racy(inputs, params):
+            _CLI_RACE_SINK["last"] = len(inputs[0])
+            return inputs[0].length
+
+        register_operation(
+            "RacyCliFixture", (ValueType.PACKETS,),
+            ValueType.FEATURES,
+        )(_racy)
+        try:
+            assert main(["races", "--strict"]) == 1
+            captured = capsys.readouterr()
+            assert "racy operation" in captured.err
+        finally:
+            OPERATIONS.pop("RacyCliFixture", None)
+
+    def test_verbose_shows_write_evidence(self, capsys):
+        from repro.core.operations import (
+            OPERATIONS,
+            register_operation,
+        )
+        from repro.core.types import ValueType
+
+        def _racy(inputs, params):
+            _CLI_RACE_SINK["verbose"] = 1
+            return inputs[0].length
+
+        register_operation(
+            "VerboseRaceFixture", (ValueType.PACKETS,),
+            ValueType.FEATURES,
+        )(_racy)
+        try:
+            assert main(["races", "-v"]) == 0
+            out = capsys.readouterr().out
+            assert "shared write -- _CLI_RACE_SINK" in out
+        finally:
+            OPERATIONS.pop("VerboseRaceFixture", None)
+
+
+#: write target for the races fixtures above -- the analyzer parses
+#: this file and must see a module-global binding
+_CLI_RACE_SINK: dict = {}
+
+
 class TestEvaluationCommands:
     def test_evaluate_same_dataset(self, capsys):
         assert main(["evaluate", "A14", "F0"]) == 0
@@ -768,6 +858,18 @@ class TestServeCommand:
         status = json.loads(status_file.read_text())
         assert status["state"] == "stopped"
         assert status["chunks_scored"] == 3
+
+    def test_concurrent_sessions_verify_against_offline(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "serve", "F0", "--virtual-time", "--outputs", "X,y",
+            "--chunk-seconds", "10", "--sessions", "2",
+            "--verify-offline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "byte-equal" in out
+        assert "MISMATCH" not in out
 
     def test_chaos_run_verifies_against_offline(self, tmp_path, capsys):
         quarantine = tmp_path / "quarantine.jsonl"

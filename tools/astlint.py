@@ -56,12 +56,22 @@ Rules:
   detectors must bound their memory; see
   ``KitsuneStreamState.evict_idle`` and ``StreamingFlowDetector``.
 
+* **AL011** -- lock-discipline violations: bare ``lock.acquire()`` /
+  ``lock.release()`` calls on lock-like receivers anywhere (manual
+  pairing leaks the lock on any exception path between the two calls
+  -- use ``with lock:``), plus, in serving code (any file under a
+  ``serve`` package), mutable module-level state that is written from
+  a function body outside every lock.  The serve daemon fans one chunk
+  out to N concurrent sessions, so its module globals are shared state
+  by construction.
+
 AL005/AL006 reuse the effect analyzer
 (``src/repro/analysis/effects.py``), AL009 the vectorization analyzer
-(``src/repro/analysis/vectorize.py``), and AL010 the streaming-safety
-analyzer (``src/repro/analysis/streamable.py``) -- all stdlib-only and
-loaded by file path, so this gate still imports nothing from the repo
-(and no numpy).
+(``src/repro/analysis/vectorize.py``), AL010 the streaming-safety
+analyzer (``src/repro/analysis/streamable.py``), and AL011 the
+concurrency-safety analyzer (``src/repro/analysis/concurrency.py``)
+-- all stdlib-only and loaded by file path, so this gate still
+imports nothing from the repo (and no numpy).
 
 Paths whose components include ``fixtures`` are skipped, as is any
 line carrying an ``# astlint: disable`` comment.
@@ -166,6 +176,37 @@ def _load_streamable():
 
 
 _streamable = _load_streamable()
+
+
+def _load_concurrency():
+    """Load the concurrency-safety analyzer by file path.
+
+    Must run after :func:`_load_streamable`: ``concurrency.py`` falls
+    back to ``from _astlint_streamable import ...`` (and the effects /
+    vectorize helpers) when loaded standalone.
+    """
+    if _streamable is None:
+        return None
+    path = (
+        Path(__file__).resolve().parent.parent
+        / "src" / "repro" / "analysis" / "concurrency.py"
+    )
+    if not path.exists():
+        return None
+    spec = importlib.util.spec_from_file_location("_astlint_concurrency", path)
+    if spec is None or spec.loader is None:
+        return None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception:
+        sys.modules.pop(spec.name, None)
+        return None
+    return module
+
+
+_concurrency = _load_concurrency()
 
 #: np.random attributes that use the unseeded process-global RNG
 _LEGACY_NP_RANDOM = {
@@ -623,6 +664,30 @@ def _check_stream_growth(
                 ))
 
 
+def _check_lock_discipline(
+    tree: ast.AST, path: Path, out: list[Violation]
+) -> None:
+    """AL011: bare acquire/release; unguarded globals in serving code."""
+    if _concurrency is None:
+        return
+    known = frozenset(_concurrency.module_locks(tree))
+    for line, receiver, method in _concurrency.bare_lock_ops(tree, known):
+        out.append(Violation(
+            path, line, "AL011",
+            f"bare {receiver}.{method}() -- manual lock pairing leaks "
+            f"the lock on any exception path; use 'with {receiver}:'",
+        ))
+    if "serve" not in path.parts:
+        return
+    for line, name, detail in _concurrency.unguarded_module_state(tree):
+        out.append(Violation(
+            path, line, "AL011",
+            f"module global '{name}' in serving code is {detail} -- "
+            f"concurrent sessions share module state; guard it with a "
+            f"lock or confine it to the session",
+        ))
+
+
 def lint_file(path: Path) -> list[Violation]:
     source = path.read_text()
     try:
@@ -641,6 +706,7 @@ def lint_file(path: Path) -> list[Violation]:
     _check_builtin_hash(tree, path, violations)
     _check_row_loops(tree, path, violations)
     _check_stream_growth(tree, path, violations)
+    _check_lock_discipline(tree, path, violations)
     disabled = {
         number
         for number, text in enumerate(source.splitlines(), start=1)

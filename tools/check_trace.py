@@ -223,6 +223,7 @@ _SCORE_CHUNK_ATTRS = {
     "rows": int,
     "row_start": int,
     "attempt": int,
+    "session": int,
 }
 
 
